@@ -1,0 +1,161 @@
+// Benchmarks: one per experiment of the paper (see DESIGN.md's index and
+// EXPERIMENTS.md for measured-vs-paper results), plus micro-benchmarks of
+// the hot substrate paths. Run with:
+//
+//	go test -bench=. -benchmem
+package fastnet_test
+
+import (
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/experiments"
+	"fastnet/internal/globalfn"
+	"fastnet/internal/graph"
+	"fastnet/internal/paths"
+	"fastnet/internal/topology"
+)
+
+// benchSpec runs one experiment spec per iteration.
+func benchSpec(b *testing.B, id string) {
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE1BroadcastVsFlooding(b *testing.B) { benchSpec(b, "E1") }
+func BenchmarkE2BroadcastTime(b *testing.B)       { benchSpec(b, "E2") }
+func BenchmarkE3LowerBound(b *testing.B)          { benchSpec(b, "E3") }
+func BenchmarkE4DeadlockExample(b *testing.B)     { benchSpec(b, "E4") }
+func BenchmarkE5Convergence(b *testing.B)         { benchSpec(b, "E5") }
+func BenchmarkE6ElectionSyscalls(b *testing.B)    { benchSpec(b, "E6") }
+func BenchmarkE7ElectionBaselines(b *testing.B)   { benchSpec(b, "E7") }
+func BenchmarkE8Binomial(b *testing.B)            { benchSpec(b, "E8") }
+func BenchmarkE9Fibonacci(b *testing.B)           { benchSpec(b, "E9") }
+func BenchmarkE10Traditional(b *testing.B)        { benchSpec(b, "E10") }
+func BenchmarkE11OptimalTime(b *testing.B)        { benchSpec(b, "E11") }
+func BenchmarkE12StarVsTree(b *testing.B)         { benchSpec(b, "E12") }
+func BenchmarkE13CausalTree(b *testing.B)         { benchSpec(b, "E13") }
+func BenchmarkE14BFSLayers(b *testing.B)          { benchSpec(b, "E14") }
+func BenchmarkE15HeaderGrowth(b *testing.B)       { benchSpec(b, "E15") }
+func BenchmarkE16HardwareAblation(b *testing.B)   { benchSpec(b, "E16") }
+func BenchmarkE17Duality(b *testing.B)            { benchSpec(b, "E17") }
+func BenchmarkE18DataVsControl(b *testing.B)      { benchSpec(b, "E18") }
+func BenchmarkE19PIF(b *testing.B)                { benchSpec(b, "E19") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkANREncodeDecode(b *testing.B) {
+	links := make([]anr.ID, 64)
+	for i := range links {
+		links[i] = anr.ID(i%15 + 1)
+	}
+	h := anr.CopyPath(links)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := h.Encode(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := anr.Decode(data, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeLabelDecompose(b *testing.B) {
+	g := graph.RandomTree(4096, 1)
+	tr := g.BFSTree(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels := paths.Labels(tr)
+		d := paths.Decompose(tr, labels)
+		if _, max := d.Rounds(0); max > 13 {
+			b.Fatal("bound violated")
+		}
+	}
+}
+
+func BenchmarkSingleBroadcast4096(b *testing.B) {
+	g := graph.RandomTree(4096, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := topology.SingleBroadcast(g, 0, topology.ModeBranching)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.Deliveries != 4095 {
+			b.Fatal("bad delivery count")
+		}
+	}
+}
+
+func BenchmarkElection1024(b *testing.B) {
+	g := graph.GNP(1024, 4.0/1024, 3)
+	starters := make([]core.NodeID, 1024)
+	for i := range starters {
+		starters[i] = core.NodeID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := election.Run(g, election.AlgoToken, starters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AlgorithmMessages > 6*1024 {
+			b.Fatal("6n bound violated")
+		}
+	}
+}
+
+func BenchmarkOptimalTimeRecursion(b *testing.B) {
+	p := globalfn.Params{C: 3, P: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.OptimalTime(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeBasedExecution(b *testing.B) {
+	p := globalfn.Params{C: 1, P: 1}
+	tstar, err := p.OptimalTime(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := p.OptimalTree(tstar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]globalfn.Value, tr.Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := globalfn.Execute(tr, p, inputs, globalfn.Sum, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if globalfn.Time(res.Finish) != tstar {
+			b.Fatal("finish mismatch")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Command fastnet regenerates the paper's experiments and runs ad-hoc
+// scenarios on the simulated high-speed network.
+//
+// Usage:
+//
+//	fastnet list                     list all experiments
+//	fastnet exp [-csv] <id>...       run experiments (IDs or 'all')
+//	fastnet sim [flags]              run one scenario (see 'fastnet sim -h')
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/experiments"
+	"fastnet/internal/globalfn"
+	"fastnet/internal/graph"
+	"fastnet/internal/pif"
+	"fastnet/internal/sim"
+	"fastnet/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fastnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, s := range experiments.All() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return nil
+	case "exp":
+		return runExp(args[1:])
+	case "sim":
+		return runSim(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("exp needs at least one experiment ID (or 'all')")
+	}
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		ids = nil
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	}
+	for _, id := range ids {
+		spec, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'fastnet list')", id)
+		}
+		tbl, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		if *asCSV {
+			if err := tbl.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	var (
+		topoName = fs.String("topo", "gnp", "topology: ring|path|star|grid|complete|tree|gnp|arpanet|cbt")
+		n        = fs.Int("n", 64, "number of nodes (topology-dependent)")
+		gnpP     = fs.Float64("gnp-p", 0, "edge probability for gnp (default 4/n)")
+		proto    = fs.String("proto", "broadcast", "protocol: broadcast|flood|layers|dfs|election|election-hs|election-naive|gsf|pif|pif-direct")
+		c        = fs.Int64("c", 0, "hardware delay per hop (C)")
+		p        = fs.Int64("p", 1, "software delay per NCU activation (P)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		root     = fs.Int("root", 0, "broadcast origin / aggregation root")
+		random   = fs.Bool("random-delays", false, "sample delays uniformly from [1,C]/[1,P]")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := buildTopo(*topoName, *n, *gnpP, *seed)
+	if err != nil {
+		return err
+	}
+	opts := []sim.Option{sim.WithDelays(core.Time(*c), core.Time(*p)), sim.WithSeed(*seed)}
+	if *random {
+		opts = append(opts, sim.WithRandomDelays())
+	}
+	fmt.Printf("topology %s: n=%d m=%d diameter=%d; C=%d P=%d seed=%d\n",
+		*topoName, g.N(), g.M(), g.Diameter(), *c, *p, *seed)
+
+	switch *proto {
+	case "broadcast", "flood", "layers", "dfs":
+		mode := map[string]topology.Mode{
+			"broadcast": topology.ModeBranching,
+			"flood":     topology.ModeFlood,
+			"layers":    topology.ModeLayers,
+			"dfs":       topology.ModeDFS,
+		}[*proto]
+		res, err := topology.SingleBroadcast(g, core.NodeID(*root), mode, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s broadcast from node %d:\n  covered %d/%d nodes\n  %s\n",
+			mode, *root, res.Covered, g.N()-1, res.Metrics)
+		return nil
+	case "election", "election-hs", "election-naive":
+		algo := map[string]election.Algorithm{
+			"election":       election.AlgoToken,
+			"election-hs":    election.AlgoHS,
+			"election-naive": election.AlgoNaive,
+		}[*proto]
+		starters := make([]core.NodeID, g.N())
+		for i := range starters {
+			starters[i] = core.NodeID(i)
+		}
+		res, err := election.Run(g, algo, starters, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n  leader node %d\n  algorithm messages %d (6n = %d)\n  %s\n",
+			algo, res.Leader, res.AlgorithmMessages, 6*g.N(), res.Metrics)
+		return nil
+	case "pif", "pif-direct":
+		mode := pif.EchoOptimal
+		if *proto == "pif-direct" {
+			mode = pif.EchoDirect
+		}
+		res, err := pif.Run(g, core.NodeID(*root), mode, core.Time(*c), core.Time(*p))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PIF (%s echo) from node %d:\n  broadcast done by t=%d, feedback complete at t=%d\n  %s\n",
+			mode, *root, res.BroadcastTime, res.Finish, res.Metrics)
+		return nil
+	case "gsf":
+		params := globalfn.Params{C: globalfn.Time(*c), P: globalfn.Time(*p)}
+		tstar, err := params.OptimalTime(int64(*n))
+		if err != nil {
+			return err
+		}
+		full, err := params.OptimalTree(tstar)
+		if err != nil {
+			return err
+		}
+		tree, err := full.PruneTo(*n)
+		if err != nil {
+			return err
+		}
+		inputs := make([]globalfn.Value, *n)
+		for i := range inputs {
+			inputs[i] = globalfn.Value(i)
+		}
+		res, err := globalfn.Execute(tree, params, inputs, globalfn.Sum, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("globally sensitive function over %d nodes:\n"+
+			"  optimal time t* = %d, simulated finish = %d\n"+
+			"  tree depth %d, root degree %d, value %d\n  %s\n",
+			*n, tstar, res.Finish, tree.Depth(), len(tree.Children[0]), res.Value, res.Metrics)
+		return nil
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+}
+
+func buildTopo(name string, n int, gnpP float64, seed int64) (*graph.Graph, error) {
+	switch name {
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	case "cbt":
+		d := 0
+		for (1<<(d+2))-1 <= n {
+			d++
+		}
+		return graph.CompleteBinaryTree(d), nil
+	case "gnp":
+		if gnpP <= 0 {
+			gnpP = 4.0 / float64(n)
+		}
+		return graph.GNP(n, gnpP, seed), nil
+	case "arpanet":
+		return graph.ARPANET(), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fastnet list                 list all experiments
+  fastnet exp [-csv] <id>...   run experiments by ID ('all' for everything)
+  fastnet sim [flags]          run one ad-hoc scenario (see 'fastnet sim -h')`)
+}

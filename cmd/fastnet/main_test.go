@@ -1,0 +1,86 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"exp"},
+		{"exp", "E99"},
+		{"sim", "-topo", "nosuch"},
+		{"sim", "-proto", "nosuch"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunExpSmall(t *testing.T) {
+	if err := run([]string{"exp", "E10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"exp", "-csv", "E10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimScenarios(t *testing.T) {
+	scenarios := [][]string{
+		{"sim", "-topo", "ring", "-n", "16", "-proto", "election"},
+		{"sim", "-topo", "ring", "-n", "16", "-proto", "election-hs"},
+		{"sim", "-topo", "complete", "-n", "8", "-proto", "election-naive"},
+		{"sim", "-topo", "path", "-n", "12", "-proto", "broadcast"},
+		{"sim", "-topo", "tree", "-n", "20", "-proto", "flood"},
+		{"sim", "-topo", "cbt", "-n", "15", "-proto", "layers"},
+		{"sim", "-topo", "star", "-n", "10", "-proto", "dfs"},
+		{"sim", "-topo", "grid", "-n", "16", "-proto", "broadcast"},
+		{"sim", "-topo", "arpanet", "-proto", "broadcast"},
+		{"sim", "-proto", "gsf", "-n", "30", "-c", "1", "-p", "2"},
+		{"sim", "-topo", "gnp", "-n", "24", "-proto", "election", "-random-delays", "-c", "3", "-p", "4"},
+	}
+	for _, args := range scenarios {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestBuildTopo(t *testing.T) {
+	for _, name := range []string{"ring", "path", "star", "grid", "complete", "tree", "cbt", "gnp", "arpanet"} {
+		g, err := buildTopo(name, 20, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	if _, err := buildTopo("nosuch", 10, 0, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestRunSimPIF(t *testing.T) {
+	for _, args := range [][]string{
+		{"sim", "-topo", "tree", "-n", "40", "-proto", "pif"},
+		{"sim", "-topo", "tree", "-n", "40", "-proto", "pif-direct"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Callsetup: the PARIS use case the paper cites for selective copy ([CG88]:
+// call setup and take-down). One copy-path packet installs call state at
+// every on-path NCU; the callee confirms over the hardware reverse route; a
+// link failure mid-call tears the call down toward both ends using only the
+// state stored at setup time.
+//
+// Run with: go run ./examples/callsetup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/calls"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+	"fastnet/internal/topology"
+)
+
+func main() {
+	g := graph.ARPANET()
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return calls.New(id)
+	}, sim.WithDelays(1, 5), sim.WithDmax(g.N())) // software 5x slower than a hop
+	mgr := func(u core.NodeID) *calls.Manager { return net.Protocol(u).(*calls.Manager) }
+
+	// The control plane knows the map (as after §3 convergence) and
+	// computes the call route.
+	db := topology.NewDB()
+	for _, r := range topology.RecordsForGraph(g, net.PortMap(), nil) {
+		db.Update(r)
+	}
+	src, dst := core.NodeID(0), core.NodeID(28)
+	route, err := db.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	links := make([]anr.ID, 0, route.HopCount())
+	for _, hop := range route[:len(route)-1] {
+		links = append(links, hop.Link)
+	}
+
+	fmt.Printf("setting up call 7 over %d hops from %d to %d\n", route.HopCount(), src, dst)
+	net.Inject(0, src, &calls.SetupCmd{Call: 7, Route: anr.CopyPath(links)})
+	finish, err := net.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	held := 0
+	for u := 0; u < g.N(); u++ {
+		if mgr(core.NodeID(u)).Holds(7) {
+			held++
+		}
+	}
+	m := net.Metrics()
+	fmt.Printf("status at caller: %v; state at %d on-path nodes\n", mgr(src).Status(7), held)
+	fmt.Printf("setup+confirm cost: %d system calls, %d hops, done at t=%d\n",
+		m.Deliveries, m.Hops, finish)
+
+	// A link in the middle of the path fails: the call tears itself down.
+	mid := route.HopCount() / 2
+	var u, v core.NodeID
+	cur := src
+	for i := 0; i <= mid; i++ {
+		port, _ := net.PortMap().Resolve(cur, route[i].Link)
+		u, v = cur, port.Remote
+		cur = port.Remote
+	}
+	fmt.Printf("\nlink %d-%d fails mid-call...\n", u, v)
+	net.SetLink(net.Now(), u, v, false)
+	if _, err := net.Run(); err != nil {
+		log.Fatal(err)
+	}
+	held = 0
+	for w := 0; w < g.N(); w++ {
+		if mgr(core.NodeID(w)).Holds(7) {
+			held++
+		}
+	}
+	fmt.Printf("status at caller: %v; %d nodes still hold state\n", mgr(src).Status(7), held)
+}

@@ -1,0 +1,88 @@
+// Election: run the paper's §4 token/domain leader election on a random
+// high-speed network, then crash the leader's links and re-elect.
+//
+// Run with: go run ./examples/election
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/graph"
+)
+
+func main() {
+	const n = 64
+	g := graph.GNP(n, 0.08, 42)
+	starters := make([]core.NodeID, n)
+	for i := range starters {
+		starters[i] = core.NodeID(i)
+	}
+
+	res, err := election.Run(g, election.AlgoToken, starters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d links\n", g.N(), g.M())
+	fmt.Printf("leader:  node %d\n", res.Leader)
+	fmt.Printf("cost:    %d tour system calls (Theorem 5 bound: %d), finished at t=%d\n",
+		res.AlgorithmMessages, 6*n, res.Metrics.FinishTime)
+	fmt.Printf("detail:  %d captures, %d waits, %d retires\n",
+		res.Stats.Captures.Load(), res.Stats.Waits.Load(), res.Stats.Retires.Load())
+
+	// The leader "crashes": in the model, a dead node is one whose links are
+	// all inactive. The survivors re-run the election on the remaining
+	// component.
+	survivors := g.Clone()
+	for _, nb := range g.Neighbors(res.Leader) {
+		survivors.RemoveEdge(res.Leader, nb)
+	}
+	comp := largestComponent(survivors)
+	sub, remap := inducedSubgraph(survivors, comp)
+	subStarters := make([]core.NodeID, sub.N())
+	for i := range subStarters {
+		subStarters[i] = core.NodeID(i)
+	}
+	res2, err := election.Run(sub, election.AlgoToken, subStarters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter node %d fails, the surviving component (%d nodes) re-elects:\n",
+		res.Leader, sub.N())
+	fmt.Printf("new leader: node %d\n", remap[res2.Leader])
+	fmt.Printf("cost:       %d tour system calls (bound %d), t=%d\n",
+		res2.AlgorithmMessages, 6*sub.N(), res2.Metrics.FinishTime)
+}
+
+// largestComponent returns the biggest component's node list.
+func largestComponent(g *graph.Graph) []core.NodeID {
+	var best []core.NodeID
+	for _, comp := range g.Components() {
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// inducedSubgraph relabels comp's nodes densely and returns the subgraph
+// plus the mapping back to original IDs.
+func inducedSubgraph(g *graph.Graph, comp []core.NodeID) (*graph.Graph, []core.NodeID) {
+	idx := make(map[core.NodeID]core.NodeID, len(comp))
+	back := make([]core.NodeID, len(comp))
+	for i, u := range comp {
+		idx[u] = core.NodeID(i)
+		back[i] = u
+	}
+	sub := graph.New(len(comp))
+	for _, u := range comp {
+		for _, v := range g.Neighbors(u) {
+			if j, ok := idx[v]; ok && idx[u] < j {
+				sub.MustAddEdge(idx[u], j)
+			}
+		}
+	}
+	return sub, back
+}

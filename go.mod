@@ -1,0 +1,3 @@
+module fastnet
+
+go 1.22

@@ -1,0 +1,44 @@
+package anr_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/anr"
+)
+
+// Build the header of a path broadcast: the first hop is normal, transit
+// hops carry the copy bit, the route ends at the destination NCU.
+func ExampleCopyPath() {
+	h := anr.CopyPath([]anr.ID{3, 1, 2})
+	fmt.Println(h)
+	fmt.Println("hops:", h.HopCount())
+	// Output:
+	// 3 >1* >2* >0
+	// hops: 3
+}
+
+// Headers have a bit-exact wire form: k+1 bits per hop at link-ID width k.
+func ExampleHeader_Encode() {
+	h := anr.Direct([]anr.ID{5, 2})
+	data, err := h.Encode(3)
+	if err != nil {
+		panic(err)
+	}
+	back, err := anr.Decode(data, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d bytes on the wire, round-trips: %v\n", len(data), back.String() == h.String())
+	// Output:
+	// 2 bytes on the wire, round-trips: true
+}
+
+// Concat splices a return route onto a forward route (used by the election
+// when a candidate goes home via the tour's entry node).
+func ExampleConcat() {
+	toEntry := anr.Direct([]anr.ID{4})
+	entryToOrigin := anr.Direct([]anr.ID{2, 7})
+	fmt.Println(anr.Concat(toEntry, entryToOrigin))
+	// Output:
+	// 4 >2 >7 >0
+}

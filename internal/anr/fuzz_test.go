@@ -1,0 +1,52 @@
+package anr
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks the wire decoder against arbitrary byte strings: it must
+// never panic, and whatever it accepts must re-encode to a prefix-compatible
+// representation (decode is the left inverse of encode on the accepted set).
+func FuzzDecode(f *testing.F) {
+	seed, err := CopyPath([]ID{3, 1, 7}).Encode(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, 3)
+	f.Add([]byte{0x00}, 1)
+	f.Add([]byte{0xff, 0xff, 0x00}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, width int) {
+		if width < 1 || width > 20 {
+			return
+		}
+		h, err := Decode(data, width)
+		if err != nil {
+			return
+		}
+		if verr := h.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid header %v: %v", h, verr)
+		}
+		out, err := h.Encode(width)
+		if err != nil {
+			t.Fatalf("re-encode of decoded header failed: %v", err)
+		}
+		// The encoding must be a prefix of the input up to padding: decode
+		// again and compare structures.
+		h2, err := Decode(out, width)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if len(h2) != len(h) {
+			t.Fatalf("round trip changed length: %d vs %d", len(h2), len(h))
+		}
+		for i := range h {
+			if h[i] != h2[i] {
+				t.Fatalf("round trip changed hop %d: %v vs %v", i, h[i], h2[i])
+			}
+		}
+		// And the canonical encoding has the expected length.
+		if bits := (len(h)*(width+1) + 7) / 8; len(out) != bits {
+			t.Fatalf("unexpected encoding length %d, want %d", len(out), bits)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package anr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IDWidth returns the number of bits needed for link IDs at a node with
+// maxDegree incident links: the normal IDs 1..maxDegree plus the reserved
+// NCU ID 0. This is the paper's k = O(log m).
+func IDWidth(maxDegree int) int {
+	if maxDegree < 1 {
+		return 1
+	}
+	return bits.Len(uint(maxDegree))
+}
+
+// Encode packs the header into a bit string: each hop occupies width+1 bits —
+// the copy bit followed by the link ID, most significant bit first. The NCU
+// terminator is encoded like any other hop (ID 0, copy clear). The result is
+// padded with zero bits to a whole number of bytes; Decode recovers the hop
+// count from the explicit terminator, so padding is unambiguous because a
+// terminator may only appear once.
+func (h Header) Encode(width int) ([]byte, error) {
+	if width < 1 || width > 20 {
+		return nil, fmt.Errorf("anr: invalid ID width %d", width)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	maxID := ID(1)<<width - 1
+	var (
+		out   []byte
+		acc   uint64
+		nbits int
+	)
+	push := func(v uint64, n int) {
+		acc = acc<<n | v
+		nbits += n
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>uint(nbits)))
+		}
+	}
+	for _, hop := range h {
+		if hop.Link > maxID {
+			return nil, fmt.Errorf("%w (%d needs more than %d bits)", ErrIDRange, hop.Link, width)
+		}
+		c := uint64(0)
+		if hop.Copy {
+			c = 1
+		}
+		push(c, 1)
+		push(uint64(hop.Link), width)
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-uint(nbits))))
+	}
+	return out, nil
+}
+
+// Decode parses a bit string produced by Encode with the same width. Parsing
+// stops at the NCU terminator; trailing padding bits are ignored.
+func Decode(data []byte, width int) (Header, error) {
+	if width < 1 || width > 20 {
+		return nil, fmt.Errorf("anr: invalid ID width %d", width)
+	}
+	var (
+		h     Header
+		acc   uint64
+		nbits int
+		pos   int
+	)
+	need := func(n int) bool {
+		for nbits < n {
+			if pos >= len(data) {
+				return false
+			}
+			acc = acc<<8 | uint64(data[pos])
+			pos++
+			nbits += 8
+		}
+		return true
+	}
+	take := func(n int) uint64 {
+		nbits -= n
+		v := acc >> uint(nbits)
+		acc &= (1 << uint(nbits)) - 1
+		return v
+	}
+	for {
+		if !need(1 + width) {
+			return nil, ErrTruncated
+		}
+		c := take(1)
+		id := ID(take(width))
+		hop := Hop{Link: id, Copy: c == 1}
+		h = append(h, hop)
+		if id == NCU {
+			if hop.Copy {
+				return nil, ErrCopyToNCU
+			}
+			return h, nil
+		}
+	}
+}

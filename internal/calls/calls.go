@@ -1,0 +1,238 @@
+// Package calls implements PARIS-style call (connection) management on the
+// fastnet model — the application the paper cites for the selective-copy
+// mechanism ([CG88]: "An example how the copy function is used for setup
+// and take-down of calls").
+//
+// A call is set up along a source route with a single copy-path packet: the
+// copy bit drops the setup message at every transit NCU, which installs
+// call state (including the remaining route downstream and the hardware
+// reverse route upstream); the terminal node confirms to the caller over
+// the reverse route. Take-down is one more copy-path packet. If a link on
+// the call's path fails, the data-link notification lets the adjacent nodes
+// tear the call down toward both ends, using only the state stored at setup
+// time — no routing tables needed anywhere.
+package calls
+
+import (
+	"fmt"
+	"sort"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// CallID identifies a call network-wide (assigned by callers; callers must
+// keep them unique, e.g. caller ID in the high bits).
+type CallID uint64
+
+// Status is a caller-side call state.
+type Status int
+
+// Caller-visible call states.
+const (
+	StatusPending Status = iota + 1
+	StatusActive
+	StatusClosed
+	StatusFailed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusActive:
+		return "active"
+	case StatusClosed:
+		return "closed"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// setupMsg reserves the call at every on-path node.
+type setupMsg struct {
+	Call   CallID
+	Caller core.NodeID
+}
+
+// confirmMsg flows back from the callee on the reverse route.
+type confirmMsg struct {
+	Call CallID
+}
+
+// teardownMsg releases the call; Fail marks failure-driven teardown.
+type teardownMsg struct {
+	Call CallID
+	Fail bool
+}
+
+// SetupCmd is injected at the caller to open a call over the given route
+// (transit hops must carry copy bits; use anr.CopyPath).
+type SetupCmd struct {
+	Call  CallID
+	Route anr.Header
+}
+
+// TeardownCmd is injected at the caller to close an active call.
+type TeardownCmd struct {
+	Call CallID
+}
+
+// hopState is what a node remembers about one call crossing it.
+type hopState struct {
+	// Down is the full route from THIS node toward the callee (empty at
+	// the callee): the link the SS forwarded on plus the remaining route.
+	Down anr.Header
+	// Up returns toward the caller (hardware reverse route).
+	Up anr.Header
+	// In is the local link toward the caller side; Out toward the callee
+	// side (NCU at the callee).
+	In, Out anr.ID
+}
+
+// Manager is the per-node call-management protocol.
+type Manager struct {
+	id core.NodeID
+
+	// table holds state for calls crossing or ending at this node.
+	table map[CallID]hopState
+
+	// caller-side bookkeeping
+	status map[CallID]Status
+	routes map[CallID]anr.Header
+}
+
+var _ core.Protocol = (*Manager)(nil)
+
+// New returns the call manager for one node.
+func New(id core.NodeID) *Manager {
+	return &Manager{
+		id:     id,
+		table:  make(map[CallID]hopState),
+		status: make(map[CallID]Status),
+		routes: make(map[CallID]anr.Header),
+	}
+}
+
+// Status returns the caller-side state of a call opened at this node.
+func (m *Manager) Status(c CallID) Status { return m.status[c] }
+
+// Holds reports whether this node currently carries state for the call.
+func (m *Manager) Holds(c CallID) bool {
+	_, ok := m.table[c]
+	return ok
+}
+
+// Calls lists the calls crossing this node, sorted.
+func (m *Manager) Calls() []CallID {
+	out := make([]CallID, 0, len(m.table))
+	for c := range m.table {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Init implements core.Protocol.
+func (m *Manager) Init(core.Env) {}
+
+// Deliver implements core.Protocol.
+func (m *Manager) Deliver(env core.Env, pkt core.Packet) {
+	switch msg := pkt.Payload.(type) {
+	case *SetupCmd:
+		m.status[msg.Call] = StatusPending
+		m.routes[msg.Call] = msg.Route
+		if err := env.Send(msg.Route, &setupMsg{Call: msg.Call, Caller: m.id}); err != nil {
+			m.status[msg.Call] = StatusFailed
+		}
+	case *TeardownCmd:
+		if m.status[msg.Call] != StatusActive && m.status[msg.Call] != StatusPending {
+			return
+		}
+		m.status[msg.Call] = StatusClosed
+		if err := env.Send(m.routes[msg.Call], &teardownMsg{Call: msg.Call}); err != nil {
+			m.status[msg.Call] = StatusFailed
+		}
+	case *setupMsg:
+		var down anr.Header
+		if pkt.ForwardedOn != anr.NCU {
+			down = make(anr.Header, 0, len(pkt.Remaining)+1)
+			down = append(down, anr.Hop{Link: pkt.ForwardedOn})
+			down = append(down, pkt.Remaining...)
+		}
+		m.table[msg.Call] = hopState{
+			Down: down,
+			Up:   pkt.Reverse.Clone(),
+			In:   pkt.ArrivedOn,
+			Out:  pkt.ForwardedOn,
+		}
+		if len(pkt.Remaining) == 0 {
+			// Callee: confirm end-to-end over the reverse route.
+			if err := env.Send(pkt.Reverse, &confirmMsg{Call: msg.Call}); err != nil {
+				delete(m.table, msg.Call)
+			}
+		}
+	case *confirmMsg:
+		if m.status[msg.Call] == StatusPending {
+			m.status[msg.Call] = StatusActive
+		}
+	case *teardownMsg:
+		if msg.Fail && m.status[msg.Call] == StatusActive {
+			m.status[msg.Call] = StatusFailed
+		}
+		delete(m.table, msg.Call)
+	}
+}
+
+// LinkEvent implements core.Protocol: when a local link fails, every call
+// using it is torn down toward the other side with the state stored at
+// setup time; the caller/callee learn of the failure.
+func (m *Manager) LinkEvent(env core.Env, port core.Port) {
+	if port.Up {
+		return
+	}
+	for c, st := range m.table {
+		switch port.Local {
+		case st.Out:
+			// Downstream side died: release upstream (copy bits clear the
+			// transit state on the way to the caller).
+			m.release(env, c, st.Up)
+		case st.In:
+			// Upstream side died: release downstream.
+			m.release(env, c, st.Down)
+		}
+	}
+	// Caller-side: a call whose first hop just died cannot be released
+	// remotely from here; the far side of the link handles its own half.
+	for c, st := range m.status {
+		if st != StatusPending && st != StatusActive {
+			continue
+		}
+		if r := m.routes[c]; len(r) > 0 && r[0].Link == port.Local {
+			m.status[c] = StatusFailed
+		}
+	}
+}
+
+// release removes local state and notifies one direction with a
+// failure-marked teardown whose copy bits clear every transit node's state.
+func (m *Manager) release(env core.Env, c CallID, route anr.Header) {
+	delete(m.table, c)
+	if route.HopCount() == 0 {
+		return
+	}
+	_ = env.Send(copyify(route), &teardownMsg{Call: c, Fail: true})
+}
+
+// copyify rebuilds a route as a copy path (first hop normal, transit hops
+// copied) so the teardown reaches every on-path NCU exactly once.
+func copyify(h anr.Header) anr.Header {
+	links := make([]anr.ID, 0, h.HopCount())
+	for _, hop := range h[:len(h)-1] {
+		links = append(links, hop.Link)
+	}
+	return anr.CopyPath(links)
+}

@@ -1,0 +1,209 @@
+package calls
+
+import (
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// newNet builds a call-managed network over g.
+func newNet(g *graph.Graph, opts ...sim.Option) (*sim.Network, func(core.NodeID) *Manager) {
+	base := []sim.Option{sim.WithDelays(0, 1), sim.WithDmax(g.N())}
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return New(id)
+	}, append(base, opts...)...)
+	return net, func(u core.NodeID) *Manager { return net.Protocol(u).(*Manager) }
+}
+
+// routeOver builds the copy-path setup route along a node path.
+func routeOver(t *testing.T, net *sim.Network, path []core.NodeID) anr.Header {
+	t.Helper()
+	links, err := net.PortMap().RouteLinks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return anr.CopyPath(links)
+}
+
+func TestSetupConfirmTeardown(t *testing.T) {
+	g := graph.Path(5)
+	net, mgr := newNet(g)
+	route := routeOver(t, net, []core.NodeID{0, 1, 2, 3, 4})
+
+	net.Inject(0, 0, &SetupCmd{Call: 7, Route: route})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(7); got != StatusActive {
+		t.Fatalf("caller status = %v, want active", got)
+	}
+	for v := core.NodeID(1); v <= 4; v++ {
+		if !mgr(v).Holds(7) {
+			t.Fatalf("node %d holds no state for call 7", v)
+		}
+	}
+	if mgr(0).Holds(7) {
+		t.Fatal("the caller needs no transit state")
+	}
+
+	net.Inject(net.Now(), 0, &TeardownCmd{Call: 7})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(7); got != StatusClosed {
+		t.Fatalf("caller status = %v, want closed", got)
+	}
+	for v := core.NodeID(1); v <= 4; v++ {
+		if mgr(v).Holds(7) {
+			t.Fatalf("node %d still holds state after teardown", v)
+		}
+	}
+}
+
+func TestSetupCostsOneSyscallPerNode(t *testing.T) {
+	g := graph.Path(6)
+	net, _ := newNet(g)
+	route := routeOver(t, net, []core.NodeID{0, 1, 2, 3, 4, 5})
+	net.Inject(0, 0, &SetupCmd{Call: 1, Route: route})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	// Setup: 5 deliveries (4 copies + callee); confirm: 1 at the caller.
+	if m.Deliveries != 6 {
+		t.Fatalf("deliveries = %d, want 6", m.Deliveries)
+	}
+	if m.Packets != 2 {
+		t.Fatalf("packets = %d, want 2 (setup + confirm)", m.Packets)
+	}
+}
+
+func TestMidCallLinkFailureTearsDownBothSides(t *testing.T) {
+	g := graph.Path(6)
+	net, mgr := newNet(g)
+	route := routeOver(t, net, []core.NodeID{0, 1, 2, 3, 4, 5})
+	net.Inject(0, 0, &SetupCmd{Call: 9, Route: route})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr(0).Status(9) != StatusActive {
+		t.Fatal("call must be active before the failure")
+	}
+	// Kill the middle link 2-3.
+	net.SetLink(net.Now(), 2, 3, false)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(9); got != StatusFailed {
+		t.Fatalf("caller status = %v, want failed", got)
+	}
+	for v := core.NodeID(1); v <= 4; v++ {
+		if mgr(v).Holds(9) {
+			t.Fatalf("node %d still holds state after the failure", v)
+		}
+	}
+}
+
+func TestCallerAdjacentFailure(t *testing.T) {
+	g := graph.Path(4)
+	net, mgr := newNet(g)
+	route := routeOver(t, net, []core.NodeID{0, 1, 2, 3})
+	net.Inject(0, 0, &SetupCmd{Call: 3, Route: route})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLink(net.Now(), 0, 1, false)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(3); got != StatusFailed {
+		t.Fatalf("caller status = %v, want failed", got)
+	}
+	// Downstream of the failure, state must be gone too (released by node
+	// 1's data-link notification).
+	for v := core.NodeID(1); v <= 3; v++ {
+		if mgr(v).Holds(3) {
+			t.Fatalf("node %d still holds state", v)
+		}
+	}
+}
+
+func TestUnrelatedFailureKeepsCall(t *testing.T) {
+	g := graph.Ring(6)
+	net, mgr := newNet(g)
+	route := routeOver(t, net, []core.NodeID{0, 1, 2})
+	net.Inject(0, 0, &SetupCmd{Call: 4, Route: route})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A failure elsewhere on the ring must not disturb the call.
+	net.SetLink(net.Now(), 3, 4, false)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(4); got != StatusActive {
+		t.Fatalf("caller status = %v, want active", got)
+	}
+	if !mgr(1).Holds(4) || !mgr(2).Holds(4) {
+		t.Fatal("on-path state must survive an unrelated failure")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	g := graph.Grid(4, 4)
+	net, mgr := newNet(g)
+	// Two crossing calls sharing node 5.
+	r1 := routeOver(t, net, []core.NodeID{0, 1, 5, 9, 13})
+	r2 := routeOver(t, net, []core.NodeID{4, 5, 6, 7})
+	net.Inject(0, 0, &SetupCmd{Call: 100, Route: r1})
+	net.Inject(0, 4, &SetupCmd{Call: 200, Route: r2})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr(0).Status(100) != StatusActive || mgr(4).Status(200) != StatusActive {
+		t.Fatal("both calls must be active")
+	}
+	if got := mgr(5).Calls(); len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("node 5 calls = %v, want [100 200]", got)
+	}
+	// Tearing down one leaves the other.
+	net.Inject(net.Now(), 0, &TeardownCmd{Call: 100})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr(5).Holds(100) {
+		t.Fatal("call 100 state must be gone")
+	}
+	if !mgr(5).Holds(200) {
+		t.Fatal("call 200 must survive")
+	}
+}
+
+func TestTeardownOfUnknownCallIgnored(t *testing.T) {
+	g := graph.Path(2)
+	net, mgr := newNet(g)
+	net.Inject(0, 0, &TeardownCmd{Call: 42})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr(0).Status(42); got != 0 {
+		t.Fatalf("status = %v, want zero (never opened)", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusPending: "pending",
+		StatusActive:  "active",
+		StatusClosed:  "closed",
+		StatusFailed:  "failed",
+		Status(9):     "status(9)",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package calls_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/calls"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// Set up a call over a 4-hop path with one copy-path packet, then tear it
+// down.
+func ExampleManager() {
+	g := graph.Path(5)
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return calls.New(id)
+	}, sim.WithDelays(0, 1), sim.WithDmax(g.N()))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1, 2, 3, 4})
+	if err != nil {
+		panic(err)
+	}
+	net.Inject(0, 0, &calls.SetupCmd{Call: 1, Route: anr.CopyPath(links)})
+	if _, err := net.Run(); err != nil {
+		panic(err)
+	}
+	caller := net.Protocol(0).(*calls.Manager)
+	fmt.Println("after setup:", caller.Status(1))
+
+	net.Inject(net.Now(), 0, &calls.TeardownCmd{Call: 1})
+	if _, err := net.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println("after teardown:", caller.Status(1))
+	// Output:
+	// after setup: active
+	// after teardown: closed
+}

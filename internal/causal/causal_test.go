@@ -1,0 +1,256 @@
+package causal
+
+import (
+	"errors"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/globalfn"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+	"fastnet/internal/trace"
+)
+
+// runTreeBased executes the §5 tree-based algorithm with tracing.
+func runTreeBased(t *testing.T, tr *globalfn.Tree, p globalfn.Params) (*trace.Buffer, globalfn.Result) {
+	t.Helper()
+	buf := trace.NewBuffer()
+	inputs := make([]globalfn.Value, tr.Size)
+	for i := range inputs {
+		inputs[i] = globalfn.Value(i + 1)
+	}
+	res, err := globalfn.Execute(tr, p, inputs, globalfn.Sum, false, sim.WithTrace(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf, res
+}
+
+func TestTreeBasedRunAllCausal(t *testing.T) {
+	p := globalfn.Params{C: 1, P: 1}
+	tr, err := p.OptimalTree(8) // Fibonacci tree, 21 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := runTreeBased(t, tr, p)
+	a, err := Analyze(buf.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a tree-based run every message is causal: each feeds the root.
+	if a.CausalCount() != a.Messages {
+		t.Fatalf("causal = %d of %d; all tree-based messages are causal",
+			a.CausalCount(), a.Messages)
+	}
+	if a.Messages != tr.Size-1 {
+		t.Fatalf("messages = %d, want n-1 = %d", a.Messages, tr.Size-1)
+	}
+	parents, err := a.SpanningTree(tr.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extracted tree must equal the original.
+	for id := 1; id < tr.Size; id++ {
+		if parents[id] != core.NodeID(tr.Parent[id]) {
+			t.Fatalf("parent[%d] = %d, want %d", id, parents[id], tr.Parent[id])
+		}
+	}
+}
+
+// floodAll is a deliberately wasteful correct algorithm on a complete
+// graph: every node multicasts its input to everyone; the root decides once
+// it heard all inputs. Only the messages to the root are causal.
+type floodAll struct {
+	id      core.NodeID
+	heard   int
+	decided bool
+}
+
+func (f *floodAll) Init(core.Env) {}
+
+func (f *floodAll) LinkEvent(core.Env, core.Port) {}
+
+func (f *floodAll) Deliver(env core.Env, pkt core.Packet) {
+	switch pkt.Payload.(type) {
+	case string: // "start"
+		var hs []anr.Header
+		for _, port := range env.Ports() {
+			hs = append(hs, anr.Direct([]anr.ID{port.Local}))
+		}
+		if err := env.Multicast(hs, &struct{ V int }{V: int(f.id)}); err != nil {
+			panic(err)
+		}
+	default:
+		f.heard++
+		if f.id == 0 && f.heard == len(env.Ports()) {
+			f.decided = true
+		}
+	}
+}
+
+func TestWastefulAlgorithmStarExtraction(t *testing.T) {
+	const n = 8
+	g := graph.Complete(n)
+	buf := trace.NewBuffer()
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return &floodAll{id: id}
+	}, sim.WithDelays(1, 1), sim.WithTrace(buf))
+	for u := 0; u < n; u++ {
+		net.Inject(0, core.NodeID(u), "start")
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(buf.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != n*(n-1) {
+		t.Fatalf("messages = %d, want n(n-1) = %d", a.Messages, n*(n-1))
+	}
+	// Exactly the n-1 messages delivered to the root are causal.
+	if a.CausalCount() != n-1 {
+		t.Fatalf("causal = %d, want %d", a.CausalCount(), n-1)
+	}
+	parents, err := a.SpanningTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < n; id++ {
+		if parents[id] != 0 {
+			t.Fatalf("parent[%d] = %d, want 0 (star)", id, parents[id])
+		}
+	}
+}
+
+// relayChain forwards a value along a path toward node 0, folding inputs.
+type relayChain struct {
+	id core.NodeID
+}
+
+func (r *relayChain) Init(core.Env) {}
+
+func (r *relayChain) LinkEvent(core.Env, core.Port) {}
+
+func (r *relayChain) Deliver(env core.Env, pkt core.Packet) {
+	v := 0
+	switch m := pkt.Payload.(type) {
+	case string:
+		// end node starts the chain
+	case *struct{ V int }:
+		v = m.V
+	}
+	if r.id == 0 {
+		return
+	}
+	// forward to the lower-ID neighbor
+	for _, port := range env.Ports() {
+		if port.Remote == r.id-1 {
+			if err := env.Send(anr.Direct([]anr.ID{port.Local}), &struct{ V int }{V: v + int(r.id)}); err != nil {
+				panic(err)
+			}
+			return
+		}
+	}
+}
+
+func TestRelayChainPathExtraction(t *testing.T) {
+	const n = 6
+	g := graph.Path(n)
+	buf := trace.NewBuffer()
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return &relayChain{id: id}
+	}, sim.WithDelays(1, 1), sim.WithTrace(buf))
+	net.Inject(0, n-1, "start")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(buf.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CausalCount() != n-1 {
+		t.Fatalf("causal = %d, want %d", a.CausalCount(), n-1)
+	}
+	parents, err := a.SpanningTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < n; id++ {
+		if parents[id] != core.NodeID(id-1) {
+			t.Fatalf("parent[%d] = %d, want %d", id, parents[id], id-1)
+		}
+	}
+}
+
+func TestSpanningTreeIncomplete(t *testing.T) {
+	a := &Analysis{Root: 0, Parent: map[core.NodeID]core.NodeID{1: 0}}
+	if _, err := a.SpanningTree(3); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestSpanningTreeCycle(t *testing.T) {
+	a := &Analysis{Root: 0, Parent: map[core.NodeID]core.NodeID{1: 2, 2: 1}}
+	if _, err := a.SpanningTree(3); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}
+
+func TestToAggregationTreeRelabels(t *testing.T) {
+	// Path 0<-1<-2 with root 1: parents[0]=1, parents[2]=1.
+	parents := []core.NodeID{1, core.None, 1}
+	tree, orig := ToAggregationTree(parents, 1)
+	if tree.Size != 3 {
+		t.Fatalf("size = %d", tree.Size)
+	}
+	if orig[0] != 1 {
+		t.Fatalf("orig[0] = %d, want root 1", orig[0])
+	}
+	if len(tree.Children[0]) != 2 {
+		t.Fatalf("root children = %v, want two", tree.Children[0])
+	}
+	for id := 1; id < 3; id++ {
+		if tree.Parent[id] != 0 {
+			t.Fatalf("parent[%d] = %d, want 0", id, tree.Parent[id])
+		}
+	}
+}
+
+func TestReplayExtractedTreeNoSlower(t *testing.T) {
+	// Theorem 6's constructive step (E13): replaying the wasteful
+	// algorithm's causal tree as a tree-based algorithm finishes no later
+	// than the original execution.
+	const n = 10
+	p := globalfn.Params{C: 1, P: 1}
+	g := graph.Complete(n)
+	buf := trace.NewBuffer()
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return &floodAll{id: id}
+	}, sim.WithDelays(core.Time(p.C), core.Time(p.P)), sim.WithTrace(buf))
+	for u := 0; u < n; u++ {
+		net.Inject(0, core.NodeID(u), "start")
+	}
+	origFinish, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(buf.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents, err := a.SpanningTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := ToAggregationTree(parents, 0)
+	inputs := make([]globalfn.Value, n)
+	res, err := globalfn.Execute(tree, p, inputs, globalfn.Sum, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Time(res.Finish) > origFinish {
+		t.Fatalf("replay finish %d > original %d", res.Finish, origFinish)
+	}
+}

@@ -1,0 +1,49 @@
+package causal
+
+import (
+	"fastnet/internal/core"
+	"fastnet/internal/globalfn"
+)
+
+// ToAggregationTree converts a spanning-tree parent array (as returned by
+// Analysis.SpanningTree) into a globalfn.Tree, relabelling nodes in BFS
+// order with the root mapped to tree node 0. The returned slice maps tree
+// IDs back to the original node IDs. This is the constructive step of
+// Theorem 6: replaying an execution's last-causal-message tree as a
+// tree-based algorithm.
+func ToAggregationTree(parents []core.NodeID, root core.NodeID) (*globalfn.Tree, []core.NodeID) {
+	n := len(parents)
+	children := make(map[core.NodeID][]core.NodeID, n)
+	for u := 0; u < n; u++ {
+		id := core.NodeID(u)
+		if id == root {
+			continue
+		}
+		children[parents[id]] = append(children[parents[id]], id)
+	}
+	tree := &globalfn.Tree{
+		Size:     n,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+	}
+	orig := make([]core.NodeID, n)
+	label := make(map[core.NodeID]int, n)
+	queue := []core.NodeID{root}
+	label[root] = 0
+	orig[0] = root
+	tree.Parent[0] = -1
+	next := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, c := range children[u] {
+			label[c] = next
+			orig[next] = c
+			tree.Parent[next] = label[u]
+			tree.Children[label[u]] = append(tree.Children[label[u]], next)
+			queue = append(queue, c)
+			next++
+		}
+	}
+	return tree, orig
+}

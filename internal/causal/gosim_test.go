@@ -1,0 +1,45 @@
+package causal
+
+import (
+	"testing"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/trace"
+)
+
+// Causal analysis also works on goroutine-runtime traces: event times are
+// activation ordinals there, which are causally monotone, and that is all
+// Analyze needs.
+func TestAnalyzeGosimTrace(t *testing.T) {
+	const n = 6
+	g := graph.Path(n)
+	buf := trace.NewBuffer()
+	net := gosim.New(g, func(id core.NodeID) core.Protocol {
+		return &relayChain{id: id}
+	}, gosim.WithTrace(buf))
+	defer net.Shutdown()
+
+	net.Inject(n-1, "start")
+	if err := net.AwaitQuiescence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(buf.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CausalCount() != n-1 {
+		t.Fatalf("causal = %d, want %d", a.CausalCount(), n-1)
+	}
+	parents, err := a.SpanningTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < n; id++ {
+		if parents[id] != core.NodeID(id-1) {
+			t.Fatalf("parent[%d] = %d, want %d", id, parents[id], id-1)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/graph"
+)
+
+func allUp(NodeID, anr.ID) bool { return true }
+
+func TestPortMapAssignment(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3
+	pm := NewPortMap(g)
+	ports := pm.Ports(0)
+	if len(ports) != 3 {
+		t.Fatalf("center has %d ports, want 3", len(ports))
+	}
+	for i, p := range ports {
+		if p.Local != anr.ID(i+1) {
+			t.Fatalf("port %d local ID = %d, want %d", i, p.Local, i+1)
+		}
+		if p.Remote != NodeID(i+1) {
+			t.Fatalf("port %d remote = %d, want %d", i, p.Remote, i+1)
+		}
+		if p.RemoteID != 1 {
+			t.Fatalf("leaf %d should see the center on its link 1, got %d", p.Remote, p.RemoteID)
+		}
+		if !p.Up {
+			t.Fatal("ports must start up")
+		}
+	}
+}
+
+func TestPortMapToward(t *testing.T) {
+	g := graph.Ring(5)
+	pm := NewPortMap(g)
+	// Node 2's neighbors are 1 and 3 (sorted): IDs 1 and 2.
+	if id, ok := pm.Toward(2, 1); !ok || id != 1 {
+		t.Fatalf("Toward(2,1) = %d,%v want 1,true", id, ok)
+	}
+	if id, ok := pm.Toward(2, 3); !ok || id != 2 {
+		t.Fatalf("Toward(2,3) = %d,%v want 2,true", id, ok)
+	}
+	if _, ok := pm.Toward(2, 4); ok {
+		t.Fatal("Toward(2,4) should fail: not adjacent")
+	}
+}
+
+func TestPortMapResolve(t *testing.T) {
+	g := graph.Path(3)
+	pm := NewPortMap(g)
+	p, err := pm.Resolve(1, 1)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if p.Remote != 0 {
+		t.Fatalf("Resolve(1,1).Remote = %d, want 0", p.Remote)
+	}
+	if _, err := pm.Resolve(1, 0); err == nil {
+		t.Fatal("Resolve of NCU ID must error")
+	}
+	if _, err := pm.Resolve(1, 5); err == nil {
+		t.Fatal("Resolve of unknown ID must error")
+	}
+}
+
+func TestRouteLinks(t *testing.T) {
+	g := graph.Path(4)
+	pm := NewPortMap(g)
+	links, err := pm.RouteLinks([]NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("RouteLinks: %v", err)
+	}
+	if len(links) != 3 {
+		t.Fatalf("got %d links, want 3", len(links))
+	}
+	if _, err := pm.RouteLinks([]NodeID{0, 2}); err == nil {
+		t.Fatal("RouteLinks over a non-edge must error")
+	}
+	if _, err := pm.RouteLinks(nil); err == nil {
+		t.Fatal("RouteLinks of empty path must error")
+	}
+}
+
+func TestIDWidthMatchesDegree(t *testing.T) {
+	g := graph.Star(9) // center degree 8 -> IDs up to 8 -> 4 bits
+	pm := NewPortMap(g)
+	if pm.IDWidth() != 4 {
+		t.Fatalf("IDWidth = %d, want 4", pm.IDWidth())
+	}
+}
+
+func TestWalkRouteTerminal(t *testing.T) {
+	g := graph.Path(4)
+	pm := NewPortMap(g)
+	links, _ := pm.RouteLinks([]NodeID{0, 1, 2, 3})
+	tr, err := WalkRoute(pm, allUp, 0, anr.Direct(links))
+	if err != nil {
+		t.Fatalf("WalkRoute: %v", err)
+	}
+	if tr.Dropped {
+		t.Fatal("unexpected drop")
+	}
+	if tr.Hops != 3 {
+		t.Fatalf("Hops = %d, want 3", tr.Hops)
+	}
+	if len(tr.Deliveries) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(tr.Deliveries))
+	}
+	d := tr.Deliveries[0]
+	if d.Node != 3 || d.Copy || d.HopsBefore != 3 {
+		t.Fatalf("terminal delivery = %+v", d)
+	}
+}
+
+func TestWalkRouteCopyPath(t *testing.T) {
+	g := graph.Path(4)
+	pm := NewPortMap(g)
+	links, _ := pm.RouteLinks([]NodeID{0, 1, 2, 3})
+	tr, err := WalkRoute(pm, allUp, 0, anr.CopyPath(links))
+	if err != nil {
+		t.Fatalf("WalkRoute: %v", err)
+	}
+	// Copies at 1 and 2, terminal at 3.
+	if len(tr.Deliveries) != 3 {
+		t.Fatalf("%d deliveries, want 3", len(tr.Deliveries))
+	}
+	wantNodes := []NodeID{1, 2, 3}
+	wantCopy := []bool{true, true, false}
+	wantHops := []int{1, 2, 3}
+	for i, d := range tr.Deliveries {
+		if d.Node != wantNodes[i] || d.Copy != wantCopy[i] || d.HopsBefore != wantHops[i] {
+			t.Fatalf("delivery %d = %+v, want node %d copy %v hops %d",
+				i, d, wantNodes[i], wantCopy[i], wantHops[i])
+		}
+	}
+	// The copy at node 1 keeps the remaining route to 3.
+	if got := tr.Deliveries[0].Remaining.HopCount(); got != 1 {
+		t.Fatalf("copy at 1 remaining hops = %d, want 1", got)
+	}
+}
+
+func TestWalkRouteDropDeliversPendingCopy(t *testing.T) {
+	g := graph.Path(4)
+	pm := NewPortMap(g)
+	links, _ := pm.RouteLinks([]NodeID{0, 1, 2, 3})
+	// Link 1-2 is dead. The copy at node 1 must still be delivered (the NCU
+	// link is always up), then the packet dies.
+	down := func(u NodeID, l anr.ID) bool {
+		p, err := pm.Resolve(u, l)
+		if err != nil {
+			return false
+		}
+		e := graph.Edge{U: u, V: p.Remote}.Canon()
+		return !(e.U == 1 && e.V == 2)
+	}
+	tr, err := WalkRoute(pm, down, 0, anr.CopyPath(links))
+	if err != nil {
+		t.Fatalf("WalkRoute: %v", err)
+	}
+	if !tr.Dropped || tr.DroppedAt != 1 {
+		t.Fatalf("expected drop at node 1, got %+v", tr)
+	}
+	if len(tr.Deliveries) != 1 || tr.Deliveries[0].Node != 1 || !tr.Deliveries[0].Copy {
+		t.Fatalf("expected exactly the copy at node 1, got %+v", tr.Deliveries)
+	}
+	if tr.Hops != 1 {
+		t.Fatalf("Hops = %d, want 1 (only 0-1 traversed)", tr.Hops)
+	}
+}
+
+func TestWalkRouteLocalDelivery(t *testing.T) {
+	g := graph.Path(2)
+	pm := NewPortMap(g)
+	tr, err := WalkRoute(pm, allUp, 1, anr.Local())
+	if err != nil {
+		t.Fatalf("WalkRoute: %v", err)
+	}
+	if len(tr.Deliveries) != 1 || tr.Deliveries[0].Node != 1 || tr.Hops != 0 {
+		t.Fatalf("local delivery = %+v", tr)
+	}
+	if tr.Deliveries[0].ArrivedOn != anr.NCU {
+		t.Fatal("local delivery must arrive on the NCU port")
+	}
+}
+
+func TestWalkRouteBadLink(t *testing.T) {
+	g := graph.Path(2)
+	pm := NewPortMap(g)
+	if _, err := WalkRoute(pm, allUp, 0, anr.Direct([]anr.ID{7})); err == nil {
+		t.Fatal("routing over a nonexistent link must error")
+	}
+	if _, err := WalkRoute(pm, allUp, 0, anr.Header{}); err == nil {
+		t.Fatal("empty header must error")
+	}
+}
+
+// Property: the accumulated reverse route of a terminal delivery leads back
+// to the sender, on random trees and random source/destination pairs.
+func TestWalkReverseRouteQuick(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.RandomTree(20, seed)
+		pm := NewPortMap(g)
+		src := NodeID(a % 20)
+		dst := NodeID(b % 20)
+		if src == dst {
+			return true
+		}
+		path := g.BFSTree(src).PathFromRoot(dst)
+		links, err := pm.RouteLinks(path)
+		if err != nil {
+			return false
+		}
+		tr, err := WalkRoute(pm, allUp, src, anr.Direct(links))
+		if err != nil || tr.Dropped || len(tr.Deliveries) != 1 {
+			return false
+		}
+		// Follow the reverse route from dst: it must terminate at src with
+		// the same number of hops.
+		back, err := WalkRoute(pm, allUp, dst, tr.Deliveries[0].Reverse)
+		if err != nil || back.Dropped || len(back.Deliveries) != 1 {
+			return false
+		}
+		return back.Deliveries[0].Node == src && back.Hops == tr.Hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a CopyPath over any simple path delivers to exactly the path's
+// non-sender nodes, once each.
+func TestWalkCopyPathCoverageQuick(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.RandomTree(25, seed)
+		pm := NewPortMap(g)
+		src := NodeID(a % 25)
+		dst := NodeID(b % 25)
+		if src == dst {
+			return true
+		}
+		path := g.BFSTree(src).PathFromRoot(dst)
+		links, err := pm.RouteLinks(path)
+		if err != nil {
+			return false
+		}
+		tr, err := WalkRoute(pm, allUp, src, anr.CopyPath(links))
+		if err != nil || tr.Dropped {
+			return false
+		}
+		if len(tr.Deliveries) != len(path)-1 {
+			return false
+		}
+		for i, d := range tr.Deliveries {
+			if d.Node != path[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsSyscallsAndAdd(t *testing.T) {
+	m := Metrics{Deliveries: 5, Injections: 2, LinkEvents: 1, Hops: 9, FinishTime: 4}
+	if m.Syscalls() != 8 {
+		t.Fatalf("Syscalls = %d, want 8", m.Syscalls())
+	}
+	other := Metrics{Deliveries: 1, FinishTime: 9}
+	m.Add(other)
+	if m.Deliveries != 6 || m.FinishTime != 9 {
+		t.Fatalf("Add result = %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestValidateMulticast(t *testing.T) {
+	ok := []anr.Header{
+		anr.Direct([]anr.ID{1, 2}),
+		anr.Direct([]anr.ID{2}),
+		anr.CopyPath([]anr.ID{3, 1}),
+	}
+	if err := ValidateMulticast(ok); err != nil {
+		t.Fatalf("distinct first links rejected: %v", err)
+	}
+	dup := []anr.Header{
+		anr.Direct([]anr.ID{1, 2}),
+		anr.Direct([]anr.ID{1, 3}),
+	}
+	if err := ValidateMulticast(dup); !errors.Is(err, ErrMulticastLinks) {
+		t.Fatalf("err = %v, want ErrMulticastLinks", err)
+	}
+	bad := []anr.Header{{}}
+	if err := ValidateMulticast(bad); err == nil {
+		t.Fatal("invalid header accepted")
+	}
+}

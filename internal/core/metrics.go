@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// Metrics aggregates the paper's cost measures over one run.
+type Metrics struct {
+	// Hops counts link traversals — the traditional communication
+	// complexity (hardware cost).
+	Hops int64
+	// Deliveries counts NCU activations caused by network packets
+	// (terminal and copy deliveries). This is the system-call complexity
+	// attributable to messages.
+	Deliveries int64
+	// CopyDeliveries is the subset of Deliveries performed by selective
+	// copy hops.
+	CopyDeliveries int64
+	// Injections counts externally injected activations (START messages,
+	// broadcast triggers). The paper's per-algorithm bounds usually count
+	// tour/broadcast messages only, so injections are kept separate.
+	Injections int64
+	// LinkEvents counts data-link notification activations.
+	LinkEvents int64
+	// Sends counts Send/Multicast invocations (each Multicast counts once:
+	// the model's free multicast).
+	Sends int64
+	// Packets counts individual routed packets (a Multicast of k routes
+	// contributes k).
+	Packets int64
+	// Drops counts packets lost to inactive links.
+	Drops int64
+	// DmaxViolations counts sends rejected by the path-length restriction.
+	DmaxViolations int64
+	// HeaderBits sums the wire size of all ANR headers sent, at this
+	// network's link-ID width (k+1 bits per hop including the copy bit).
+	// This is the paper's "message grows linearly with the path length"
+	// overhead made measurable.
+	HeaderBits int64
+	// MaxHeaderHops is the longest route any packet was sent over.
+	MaxHeaderHops int64
+	// Filtered counts packets dropped by the optional programmable
+	// switching filter (the extended hardware model of the conclusion).
+	Filtered int64
+	// FinishTime is the virtual time of the last NCU activation
+	// (discrete-event runtime only; 0 in the goroutine runtime).
+	FinishTime Time
+}
+
+// Syscalls returns total NCU activations: deliveries plus injections plus
+// link events — the paper's "number of times each NCU is involved".
+func (m Metrics) Syscalls() int64 {
+	return m.Deliveries + m.Injections + m.LinkEvents
+}
+
+// String renders the metrics on one line for experiment tables.
+func (m Metrics) String() string {
+	return fmt.Sprintf("hops=%d deliveries=%d (copies=%d) injections=%d linkEvents=%d sends=%d packets=%d drops=%d time=%d",
+		m.Hops, m.Deliveries, m.CopyDeliveries, m.Injections, m.LinkEvents, m.Sends, m.Packets, m.Drops, m.FinishTime)
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Hops += other.Hops
+	m.Deliveries += other.Deliveries
+	m.CopyDeliveries += other.CopyDeliveries
+	m.Injections += other.Injections
+	m.LinkEvents += other.LinkEvents
+	m.Sends += other.Sends
+	m.Packets += other.Packets
+	m.Drops += other.Drops
+	m.DmaxViolations += other.DmaxViolations
+	m.HeaderBits += other.HeaderBits
+	m.Filtered += other.Filtered
+	if other.MaxHeaderHops > m.MaxHeaderHops {
+		m.MaxHeaderHops = other.MaxHeaderHops
+	}
+	if other.FinishTime > m.FinishTime {
+		m.FinishTime = other.FinishTime
+	}
+}

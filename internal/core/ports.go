@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/graph"
+)
+
+// PortMap assigns deterministic local link IDs for every node of a graph:
+// node u's incident links get IDs 1..deg(u) in ascending neighbor order
+// (ID 0 is the NCU). Both runtimes share one PortMap so that ANR headers are
+// portable across them.
+type PortMap struct {
+	ports   [][]Port            // per node, index = localID-1
+	toward  []map[NodeID]anr.ID // per node: neighbor -> local ID
+	idWidth int
+}
+
+// NewPortMap builds the port assignment for g.
+func NewPortMap(g *graph.Graph) *PortMap {
+	n := g.N()
+	pm := &PortMap{
+		ports:   make([][]Port, n),
+		toward:  make([]map[NodeID]anr.ID, n),
+		idWidth: anr.IDWidth(g.MaxDegree()),
+	}
+	for u := 0; u < n; u++ {
+		nbs := g.Neighbors(NodeID(u))
+		pm.ports[u] = make([]Port, len(nbs))
+		pm.toward[u] = make(map[NodeID]anr.ID, len(nbs))
+		for i, v := range nbs {
+			pm.ports[u][i] = Port{Local: anr.ID(i + 1), Remote: v, Up: true}
+			pm.toward[u][v] = anr.ID(i + 1)
+		}
+	}
+	// Second pass: fill in the remote side's ID for each port (the
+	// data-link handshake knowledge).
+	for u := range pm.ports {
+		for i := range pm.ports[u] {
+			v := pm.ports[u][i].Remote
+			pm.ports[u][i].RemoteID = pm.toward[v][NodeID(u)]
+		}
+	}
+	return pm
+}
+
+// N returns the number of nodes.
+func (pm *PortMap) N() int { return len(pm.ports) }
+
+// IDWidth returns the link-ID bit width for this network (k = O(log m)).
+func (pm *PortMap) IDWidth() int { return pm.idWidth }
+
+// Ports returns node u's ports in ascending local-ID order. The slice is
+// shared; callers must not modify it.
+func (pm *PortMap) Ports(u NodeID) []Port { return pm.ports[u] }
+
+// Toward returns u's local link ID for the edge to v.
+func (pm *PortMap) Toward(u, v NodeID) (anr.ID, bool) {
+	id, ok := pm.toward[u][v]
+	return id, ok
+}
+
+// Resolve maps u's local link ID to the port it names.
+func (pm *PortMap) Resolve(u NodeID, l anr.ID) (Port, error) {
+	if l == anr.NCU {
+		return Port{}, fmt.Errorf("core: link ID 0 is the NCU, not a port, at node %d", u)
+	}
+	i := int(l) - 1
+	if i < 0 || i >= len(pm.ports[u]) {
+		return Port{}, fmt.Errorf("core: node %d has no link %d", u, l)
+	}
+	return pm.ports[u][i], nil
+}
+
+// RouteLinks converts a node path starting at src into the sequence of local
+// link IDs that an ANR header needs: the ID at each hop's sending node.
+func (pm *PortMap) RouteLinks(path []NodeID) ([]anr.ID, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("core: empty path")
+	}
+	links := make([]anr.ID, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		id, ok := pm.Toward(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("core: no edge %d-%d on path", path[i], path[i+1])
+		}
+		links = append(links, id)
+	}
+	return links, nil
+}

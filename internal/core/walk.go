@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fastnet/internal/anr"
+)
+
+// Delivery is one NCU activation produced by routing a packet: a selective
+// copy at a forwarding node or the terminal delivery at the route's end.
+type Delivery struct {
+	Node NodeID
+	// Remaining is the header left after this node's SS consumed its hop.
+	Remaining anr.Header
+	// Reverse is the accumulated route from Node back to the sender.
+	Reverse anr.Header
+	// ArrivedOn is Node's local ID of the link the packet arrived on
+	// (anr.NCU when Node is the sender itself).
+	ArrivedOn anr.ID
+	// ForwardedOn is the link the SS forwarded on while copying (anr.NCU
+	// for terminal deliveries).
+	ForwardedOn anr.ID
+	// Copy is true for selective-copy deliveries.
+	Copy bool
+	// HopsBefore is the number of link traversals completed before this
+	// delivery; runtimes use it to time the delivery (t0 + C*HopsBefore).
+	HopsBefore int
+}
+
+// Traversal is the complete hardware-level outcome of routing one packet.
+type Traversal struct {
+	Deliveries []Delivery
+	// Hops is the number of links actually traversed (stops early on a
+	// dead link).
+	Hops int
+	// Dropped is true if the packet died on an inactive link.
+	Dropped bool
+	// DroppedAt is the node whose outgoing link was dead (valid iff
+	// Dropped or Filtered).
+	DroppedAt NodeID
+	// Filtered is true if the programmable switching filter discarded the
+	// packet (Dropped stays false in that case).
+	Filtered bool
+}
+
+// LinkStateFunc reports whether the physical link behind node u's local port
+// l currently delivers packets. Link state is symmetric: implementations
+// must answer identically from both endpoints.
+type LinkStateFunc func(u NodeID, l anr.ID) bool
+
+// HopFilter is the optional programmable switching stage of the extended
+// hardware model (the paper's "update of a stored variable, table lookup
+// and compare function"). It runs at hardware speed in every transit SS the
+// packet crosses — never at the sender and never on the NCU terminator —
+// and returning false discards the packet. Implementations may keep
+// per-node registers in a closure; under the goroutine runtime they must be
+// safe for concurrent use.
+type HopFilter func(at NodeID, payload any) bool
+
+// ErrMulticastLinks is returned when a multicast's routes do not start on
+// pairwise distinct local links (the §2 primitive fans one message out over
+// links, so it cannot carry two different routes on the same link in one
+// activation).
+var ErrMulticastLinks = errors.New("core: multicast routes must start on distinct links")
+
+// ValidateMulticast checks the §2 multicast primitive's constraint: every
+// route must be well formed and start on a different local link.
+func ValidateMulticast(hs []anr.Header) error {
+	seen := make(map[anr.ID]bool, len(hs))
+	for _, h := range hs {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+		first := h[0].Link
+		if seen[first] {
+			return fmt.Errorf("%w (link %d used twice)", ErrMulticastLinks, first)
+		}
+		seen[first] = true
+	}
+	return nil
+}
+
+// WalkRoute performs the switching-subsystem traversal of header h injected
+// at node src. It is the single source of truth for SS semantics: both
+// runtimes call it (directly or by mirroring its rules) and then schedule
+// the returned deliveries according to their own timing models.
+//
+// Semantics per hop, mirroring the paper's hardware model: the current SS
+// pops the leading ID; ID 0 terminates at the local NCU; a copy hop delivers
+// the remaining packet to the local NCU and forwards it on the named link; a
+// normal hop only forwards. Copies are delivered even when the onward link is
+// dead (the NCU link is always up), after which the packet is dropped.
+func WalkRoute(pm *PortMap, up LinkStateFunc, src NodeID, h anr.Header) (Traversal, error) {
+	return WalkRouteFiltered(pm, up, nil, src, h, nil)
+}
+
+// WalkRouteFiltered is WalkRoute with the extended hardware model: filter
+// (if non-nil) runs in every transit SS before any output, and payload is
+// what it inspects.
+func WalkRouteFiltered(pm *PortMap, up LinkStateFunc, filter HopFilter, src NodeID, h anr.Header, payload any) (Traversal, error) {
+	if err := h.Validate(); err != nil {
+		return Traversal{}, err
+	}
+	var (
+		tr        Traversal
+		cur       = src
+		rev       = anr.Local()
+		arrivedOn = anr.NCU
+	)
+	for i, hop := range h {
+		if hop.Link == anr.NCU {
+			tr.Deliveries = append(tr.Deliveries, Delivery{
+				Node:       cur,
+				Remaining:  nil,
+				Reverse:    rev,
+				ArrivedOn:  arrivedOn,
+				HopsBefore: tr.Hops,
+			})
+			return tr, nil
+		}
+		port, err := pm.Resolve(cur, hop.Link)
+		if err != nil {
+			return Traversal{}, fmt.Errorf("walk at node %d: %w", cur, err)
+		}
+		if i > 0 && filter != nil && !filter(cur, payload) {
+			tr.Filtered = true
+			tr.DroppedAt = cur
+			return tr, nil
+		}
+		if hop.Copy {
+			tr.Deliveries = append(tr.Deliveries, Delivery{
+				Node:        cur,
+				Remaining:   h[i+1:].Clone(),
+				Reverse:     rev,
+				ArrivedOn:   arrivedOn,
+				ForwardedOn: hop.Link,
+				Copy:        true,
+				HopsBefore:  tr.Hops,
+			})
+		}
+		if !up(cur, hop.Link) {
+			tr.Dropped = true
+			tr.DroppedAt = cur
+			return tr, nil
+		}
+		tr.Hops++
+		// Extend the reverse route: from the next node, first traverse
+		// back over this link, then follow the previous reverse route.
+		next := make(anr.Header, 0, len(rev)+1)
+		next = append(next, anr.Hop{Link: port.RemoteID})
+		rev = append(next, rev...)
+		arrivedOn = port.RemoteID
+		cur = port.Remote
+	}
+	// Validate guarantees a terminator, so this is unreachable.
+	return tr, fmt.Errorf("walk: header %v missing terminator", h)
+}

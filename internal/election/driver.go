@@ -1,0 +1,152 @@
+package election
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// Algorithm selects an election protocol for the driver.
+type Algorithm int
+
+// Available algorithms.
+const (
+	AlgoToken Algorithm = iota + 1 // the paper's §4 algorithm
+	AlgoHS                         // Hirschberg–Sinclair (rings only)
+	AlgoNaive                      // all-pairs exchange (complete graphs)
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoToken:
+		return "token-domains"
+	case AlgoHS:
+		return "hirschberg-sinclair"
+	case AlgoNaive:
+		return "naive-allpairs"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// ErrNoLeader is returned when a run finishes without exactly one leader.
+var ErrNoLeader = errors.New("election: run did not elect exactly one leader")
+
+// Result reports one election run.
+type Result struct {
+	Leader  core.NodeID
+	Metrics core.Metrics
+	// AlgorithmMessages is Theorem 5's measure: system calls spent on
+	// candidate tours (announcements and the injected STARTs excluded).
+	AlgorithmMessages int64
+	Stats             *Stats
+}
+
+// Dmax returns the model path-length restriction for an n-node election:
+// return routes concatenate two tree routes, each shorter than n.
+func Dmax(n int) int { return 2*n + 2 }
+
+// factory builds the per-node protocol for an algorithm.
+func factory(a Algorithm, stats *Stats) core.Factory {
+	return func(id core.NodeID) core.Protocol {
+		switch a {
+		case AlgoToken:
+			return New(id, stats)
+		case AlgoHS:
+			return NewHSRing(id, stats)
+		case AlgoNaive:
+			return NewNaive(id, stats)
+		default:
+			panic(fmt.Sprintf("election: unknown algorithm %d", int(a)))
+		}
+	}
+}
+
+// stateOf extracts the outcome from any of the three protocols.
+func stateOf(p core.Protocol) State {
+	switch pr := p.(type) {
+	case *Protocol:
+		return pr.State()
+	case *HSRing:
+		return pr.State()
+	case *Naive:
+		return pr.State()
+	default:
+		return 0
+	}
+}
+
+// Run executes one election on the discrete-event runtime: the given
+// starters receive START at time 0, the network runs to quiescence, and the
+// outcome is validated (exactly one leader; every other node knows it).
+func Run(g *graph.Graph, algo Algorithm, starters []core.NodeID, opts ...sim.Option) (Result, error) {
+	stats := &Stats{}
+	base := []sim.Option{sim.WithDelays(0, 1), sim.WithDmax(Dmax(g.N()))}
+	net := sim.New(g, factory(algo, stats), append(base, opts...)...)
+	for _, s := range starters {
+		net.Inject(0, s, Start{})
+	}
+	if _, err := net.Run(); err != nil {
+		return Result{}, err
+	}
+	leader, err := validate(g, func(u core.NodeID) State { return stateOf(net.Protocol(u)) })
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Leader:            leader,
+		Metrics:           net.Metrics(),
+		AlgorithmMessages: stats.AlgorithmMessages(),
+		Stats:             stats,
+	}, nil
+}
+
+// RunAsync executes one election on the goroutine runtime.
+func RunAsync(g *graph.Graph, algo Algorithm, starters []core.NodeID, seed int64, timeout time.Duration) (Result, error) {
+	stats := &Stats{}
+	net := gosim.New(g, factory(algo, stats), gosim.WithSeed(seed), gosim.WithDmax(Dmax(g.N())))
+	defer net.Shutdown()
+	for _, s := range starters {
+		net.Inject(s, Start{})
+	}
+	if err := net.AwaitQuiescence(timeout); err != nil {
+		return Result{}, err
+	}
+	leader, err := validate(g, func(u core.NodeID) State { return stateOf(net.Protocol(u)) })
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Leader:            leader,
+		Metrics:           net.Metrics(),
+		AlgorithmMessages: stats.AlgorithmMessages(),
+		Stats:             stats,
+	}, nil
+}
+
+// validate checks the problem's postcondition.
+func validate(g *graph.Graph, state func(core.NodeID) State) (core.NodeID, error) {
+	leader := core.None
+	for u := 0; u < g.N(); u++ {
+		switch state(core.NodeID(u)) {
+		case StateLeader:
+			if leader != core.None {
+				return core.None, fmt.Errorf("%w: both %d and %d are leaders", ErrNoLeader, leader, u)
+			}
+			leader = core.NodeID(u)
+		case StateLeaderElected:
+		default:
+			return core.None, fmt.Errorf("%w: node %d undecided", ErrNoLeader, u)
+		}
+	}
+	if leader == core.None {
+		return core.None, ErrNoLeader
+	}
+	return leader, nil
+}

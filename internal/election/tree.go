@@ -1,0 +1,156 @@
+// Package election implements the paper's §4 leader election: a token-based
+// candidate/domain algorithm that uses direct (ANR) messages to achieve O(n)
+// system calls and O(n) time, plus two classical baselines (Hirschberg–
+// Sinclair rings and a naive complete-graph exchange) whose system-call
+// complexity is Θ(n log n) and Θ(n²) under the new measures.
+package election
+
+import (
+	"fmt"
+	"sort"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// TreeEntry is one node of an INOUT tree in wire form: its parent and the
+// link IDs in both directions (Down: at the parent toward the node; Up: at
+// the node toward the parent). Both IDs are local facts exchanged by the
+// data-link handshake, so they stay valid however the tree is re-rooted.
+type TreeEntry struct {
+	Node   core.NodeID
+	Parent core.NodeID
+	Down   anr.ID
+	Up     anr.ID
+}
+
+// inoutTree is a domain's routing tree: a subgraph of the network spanning
+// the domain's IN nodes and its OUT frontier, rooted at the origin. All ANR
+// routes derived from it are simple paths, hence linear in n.
+type inoutTree struct {
+	root    core.NodeID
+	entries map[core.NodeID]TreeEntry
+}
+
+func newInOutTree(root core.NodeID) *inoutTree {
+	return &inoutTree{root: root, entries: make(map[core.NodeID]TreeEntry)}
+}
+
+// attach adds node under parent. The parent must be the root or already
+// attached.
+func (t *inoutTree) attach(e TreeEntry) error {
+	if e.Node == t.root {
+		return fmt.Errorf("election: cannot attach the root %d", e.Node)
+	}
+	if _, dup := t.entries[e.Node]; dup {
+		return fmt.Errorf("election: node %d already attached", e.Node)
+	}
+	if e.Parent != t.root {
+		if _, ok := t.entries[e.Parent]; !ok {
+			return fmt.Errorf("election: parent %d of %d not in tree", e.Parent, e.Node)
+		}
+	}
+	t.entries[e.Node] = e
+	return nil
+}
+
+// has reports whether x is in the tree (the root counts).
+func (t *inoutTree) has(x core.NodeID) bool {
+	if x == t.root {
+		return true
+	}
+	_, ok := t.entries[x]
+	return ok
+}
+
+// route returns the ANR route from the root to x.
+func (t *inoutTree) route(x core.NodeID) (anr.Header, error) {
+	if x == t.root {
+		return anr.Local(), nil
+	}
+	var rev []anr.ID
+	for cur := x; cur != t.root; {
+		e, ok := t.entries[cur]
+		if !ok {
+			return nil, fmt.Errorf("election: node %d not in tree of %d", x, t.root)
+		}
+		rev = append(rev, e.Down)
+		cur = e.Parent
+	}
+	links := make([]anr.ID, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		links = append(links, rev[i])
+	}
+	return anr.Direct(links), nil
+}
+
+// wire serializes the tree in parent-before-child order so the receiver can
+// re-attach entries in sequence.
+func (t *inoutTree) wire() []TreeEntry {
+	children := make(map[core.NodeID][]core.NodeID, len(t.entries))
+	for _, e := range t.entries {
+		children[e.Parent] = append(children[e.Parent], e.Node)
+	}
+	for _, ch := range children {
+		sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+	}
+	out := make([]TreeEntry, 0, len(t.entries))
+	stack := []core.NodeID{t.root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range children[u] {
+			out = append(out, t.entries[c])
+			stack = append(stack, c)
+		}
+	}
+	return out
+}
+
+// reroot returns the same tree rooted at newRoot (which must be present):
+// parent pointers along the path newRoot..oldRoot are reversed, swapping the
+// Down/Up link IDs.
+func (t *inoutTree) reroot(newRoot core.NodeID) (*inoutTree, error) {
+	if !t.has(newRoot) {
+		return nil, fmt.Errorf("election: reroot target %d not in tree", newRoot)
+	}
+	if newRoot == t.root {
+		return t, nil
+	}
+	// Collect the path newRoot -> oldRoot.
+	var path []core.NodeID
+	for cur := newRoot; cur != t.root; {
+		path = append(path, cur)
+		cur = t.entries[cur].Parent
+	}
+	path = append(path, t.root)
+	nt := newInOutTree(newRoot)
+	// Reversed edges along the path: path[i+1] hangs under path[i]. The old
+	// edge (path[i] -> parent path[i+1]) had Down at path[i+1] and Up at
+	// path[i]; reversed, those roles swap.
+	for i := 0; i+1 < len(path); i++ {
+		child, parent := path[i+1], path[i]
+		old := t.entries[path[i]]
+		nt.entries[child] = TreeEntry{
+			Node:   child,
+			Parent: parent,
+			Down:   old.Up,
+			Up:     old.Down,
+		}
+	}
+	// All other edges keep their direction; path nodes already carry their
+	// reversed entry.
+	for node, e := range t.entries {
+		if node == newRoot {
+			continue
+		}
+		if _, done := nt.entries[node]; done {
+			continue
+		}
+		nt.entries[node] = e
+	}
+	return nt, nil
+}
+
+// size returns the number of nodes including the root.
+func (t *inoutTree) size() int { return len(t.entries) + 1 }

@@ -1,0 +1,98 @@
+package globalfn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisseminateReachesAll(t *testing.T) {
+	p := Params{C: 1, P: 1}
+	tr, err := p.OptimalTree(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Disseminate(tr, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != tr.Size {
+		t.Fatalf("reached = %d, want %d", res.Reached, tr.Size)
+	}
+}
+
+func TestDisseminateDualityExact(t *testing.T) {
+	// Time-reversal duality: disseminating over OT(t*) with one send per
+	// activation finishes at exactly t* = OptimalTime(n) — the same time
+	// as the §5 gather (the postal-model connection).
+	for _, p := range []Params{{C: 0, P: 1}, {C: 1, P: 1}, {C: 2, P: 3}, {C: 4, P: 1}, {C: 1, P: 5}} {
+		for _, n := range []int64{2, 5, 17, 64, 200} {
+			tstar, err := p.OptimalTime(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := p.OptimalTree(tstar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Disseminate(tr, p, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Finish != tstar {
+				t.Fatalf("C=%d P=%d n=%d: dissemination finish = %d, want t* = %d",
+					p.C, p.P, n, res.Finish, tstar)
+			}
+			// And it matches the gather over the same tree.
+			gres, err := Execute(tr, p, make([]Value, tr.Size), Sum, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gres.Finish != res.Finish {
+				t.Fatalf("C=%d P=%d n=%d: gather %d != dissemination %d",
+					p.C, p.P, n, gres.Finish, res.Finish)
+			}
+		}
+	}
+}
+
+func TestDisseminateSingleNode(t *testing.T) {
+	p := Params{C: 3, P: 2}
+	tr, err := p.OptimalTree(p.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size != 1 {
+		t.Fatalf("size = %d, want 1", tr.Size)
+	}
+	res, err := Disseminate(tr, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != Time(p.P) {
+		t.Fatalf("finish = %d, want P", res.Finish)
+	}
+}
+
+func TestDisseminateStarSerializesSends(t *testing.T) {
+	// Without free multicast the star root sends one message per P: the
+	// last leaf gets the value at P*(n-1) + C + P.
+	p := Params{C: 2, P: 3}
+	n := 10
+	res, err := Disseminate(Star(n), p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Time(int64(p.P)*int64(n-1) + int64(p.C) + int64(p.P))
+	if res.Finish != want {
+		t.Fatalf("finish = %d, want %d", res.Finish, want)
+	}
+}
+
+func TestDisseminateErrors(t *testing.T) {
+	if _, err := Disseminate(&Tree{}, Params{C: 0, P: 1}, 0); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("err = %v, want ErrEmptyTree", err)
+	}
+	if _, err := Disseminate(Star(3), Params{C: -1, P: 1}, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v, want ErrBadParams", err)
+	}
+}

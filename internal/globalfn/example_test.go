@@ -1,0 +1,59 @@
+package globalfn_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/globalfn"
+)
+
+// The §5 recursion in the paper's three worked regimes.
+func ExampleParams_S() {
+	binomial := globalfn.Params{C: 0, P: 1}  // example 1
+	fibonacci := globalfn.Params{C: 1, P: 1} // example 3
+	for k := globalfn.Time(1); k <= 6; k++ {
+		a, _ := binomial.S(k)
+		b, _ := fibonacci.S(k)
+		fmt.Printf("S(%d): binomial=%d fibonacci=%d\n", k, a, b)
+	}
+	// Output:
+	// S(1): binomial=1 fibonacci=1
+	// S(2): binomial=2 fibonacci=1
+	// S(3): binomial=4 fibonacci=2
+	// S(4): binomial=8 fibonacci=3
+	// S(5): binomial=16 fibonacci=5
+	// S(6): binomial=32 fibonacci=8
+}
+
+// Predict the optimal completion time for n inputs and verify it by
+// simulation.
+func ExampleParams_OptimalTime() {
+	p := globalfn.Params{C: 2, P: 3}
+	tstar, err := p.OptimalTime(50)
+	if err != nil {
+		panic(err)
+	}
+	tree, err := p.OptimalTree(tstar)
+	if err != nil {
+		panic(err)
+	}
+	inputs := make([]globalfn.Value, tree.Size)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	res, err := globalfn.Execute(tree, p, inputs, globalfn.Sum, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("t*=%d simulated=%d nodes=%d sum=%d\n", tstar, res.Finish, tree.Size, res.Value)
+	// Output:
+	// t*=28 simulated=28 nodes=55 sum=55
+}
+
+// The traditional model (P=0) degenerates — the paper's example 2.
+func ExampleParams_S_traditional() {
+	p := globalfn.Params{C: 1, P: 0}
+	_, err := p.S(5)
+	fmt.Println(err)
+	// Output:
+	// globalfn: P = 0 degenerates to the traditional model (unbounded star)
+}

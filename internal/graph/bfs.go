@@ -1,0 +1,163 @@
+package graph
+
+// Tree is a rooted spanning tree (or forest restricted to the root's
+// component) expressed as a parent array. Parent[root] == None and
+// Parent[u] == None for nodes outside the root's component; use Reached to
+// distinguish the two.
+type Tree struct {
+	Root   NodeID
+	Parent []NodeID
+	Depth  []int // hop distance from root; -1 if unreachable
+}
+
+// Reached reports whether u is in the tree (reachable from the root).
+func (t *Tree) Reached(u NodeID) bool {
+	if u < 0 || int(u) >= len(t.Parent) {
+		return false
+	}
+	return u == t.Root || t.Parent[u] != None
+}
+
+// Children returns, for each node, its children in the tree, sorted by ID.
+func (t *Tree) Children() [][]NodeID {
+	ch := make([][]NodeID, len(t.Parent))
+	for u, p := range t.Parent {
+		if p != None {
+			ch[p] = append(ch[p], NodeID(u))
+		}
+	}
+	return ch
+}
+
+// Size returns the number of nodes in the tree, including the root.
+func (t *Tree) Size() int {
+	n := 0
+	for u := range t.Parent {
+		if t.Reached(NodeID(u)) {
+			n++
+		}
+	}
+	return n
+}
+
+// PathFromRoot returns the node sequence root..u, or nil if u is unreachable.
+func (t *Tree) PathFromRoot(u NodeID) []NodeID {
+	if !t.Reached(u) {
+		return nil
+	}
+	var rev []NodeID
+	for v := u; v != None; v = t.Parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BFSTree returns the breadth-first (minimum-hop) spanning tree of the
+// component containing root. Neighbors are visited in sorted order, so the
+// tree is deterministic.
+func (g *Graph) BFSTree(root NodeID) *Tree {
+	t := &Tree{
+		Root:   root,
+		Parent: make([]NodeID, g.n),
+		Depth:  make([]int, g.n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = None
+		t.Depth[i] = -1
+	}
+	if !g.valid(root) {
+		return t
+	}
+	t.Depth[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if t.Depth[v] >= 0 {
+				continue
+			}
+			t.Depth[v] = t.Depth[u] + 1
+			t.Parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return t
+}
+
+// Distances returns hop distances from root (-1 for unreachable nodes).
+func (g *Graph) Distances(root NodeID) []int {
+	return g.BFSTree(root).Depth
+}
+
+// Connected reports whether the graph is connected (empty and single-node
+// graphs are connected).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	d := g.Distances(0)
+	for _, x := range d {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as sorted node lists, ordered
+// by their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{NodeID(s)}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter returns the largest hop distance between any connected pair of
+// nodes. It is 0 for graphs with fewer than two nodes and ignores
+// disconnected pairs (use Connected to check reachability first).
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.Distances(NodeID(u)) {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the largest hop distance from u to any reachable node.
+func (g *Graph) Eccentricity(u NodeID) int {
+	ecc := 0
+	for _, d := range g.Distances(u) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

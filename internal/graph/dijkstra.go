@@ -1,0 +1,63 @@
+package graph
+
+import "container/heap"
+
+// WeightFunc assigns a positive cost to traversing edge {u, v}. Weights
+// must be symmetric.
+type WeightFunc func(u, v NodeID) int64
+
+// ShortestTree computes the single-source shortest-path tree under the
+// given edge weights (Dijkstra). Dist is -1 for unreachable nodes.
+// Non-positive weights are treated as 1.
+func (g *Graph) ShortestTree(root NodeID, weight WeightFunc) (*Tree, []int64) {
+	t := &Tree{
+		Root:   root,
+		Parent: make([]NodeID, g.n),
+		Depth:  make([]int, g.n),
+	}
+	dist := make([]int64, g.n)
+	for i := range t.Parent {
+		t.Parent[i] = None
+		t.Depth[i] = -1
+		dist[i] = -1
+	}
+	if !g.valid(root) {
+		return t, dist
+	}
+	dist[root] = 0
+	t.Depth[root] = 0
+	pq := &distHeap{{node: root, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(distEntry)
+		if cur.dist > dist[cur.node] {
+			continue // stale entry
+		}
+		for _, v := range g.adj[cur.node] {
+			w := weight(cur.node, v)
+			if w <= 0 {
+				w = 1
+			}
+			nd := cur.dist + w
+			if dist[v] < 0 || nd < dist[v] {
+				dist[v] = nd
+				t.Parent[v] = cur.node
+				t.Depth[v] = t.Depth[cur.node] + 1
+				heap.Push(pq, distEntry{node: v, dist: nd})
+			}
+		}
+	}
+	return t, dist
+}
+
+type distEntry struct {
+	node NodeID
+	dist int64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	err := g.DOT(&sb, "demo",
+		map[NodeID]bool{1: true},
+		map[Edge]bool{{U: 1, V: 2}: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`graph "demo" {`,
+		"1 [style=filled];",
+		"0 -- 1;",
+		"1 -- 2 [style=dashed];",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTDefaultName(t *testing.T) {
+	var sb strings.Builder
+	if err := New(1).DOT(&sb, "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `graph "g" {`) {
+		t.Fatalf("default name missing:\n%s", sb.String())
+	}
+}

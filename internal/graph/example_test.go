@@ -1,0 +1,37 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/graph"
+)
+
+// Build a topology, inspect it, and take a minimum-hop tree — the
+// substrate every protocol in this repository runs on.
+func ExampleGraph_BFSTree() {
+	g := graph.ARPANET()
+	tree := g.BFSTree(0)
+	fmt.Println("nodes:", g.N(), "links:", g.M(), "diameter:", g.Diameter())
+	fmt.Println("path 0 -> 28:", tree.PathFromRoot(28))
+	// Output:
+	// nodes: 29 links: 35 diameter: 10
+	// path 0 -> 28: [0 1 2 7 9 11 17 19 21 27 28]
+}
+
+// Weighted shortest paths back the load-aware routing of the topology
+// database.
+func ExampleGraph_ShortestTree() {
+	g := graph.Ring(6)
+	// Edge 0-1 is congested.
+	w := func(u, v graph.NodeID) int64 {
+		e := graph.Edge{U: u, V: v}.Canon()
+		if e == (graph.Edge{U: 0, V: 1}) {
+			return 10
+		}
+		return 1
+	}
+	tree, dist := g.ShortestTree(0, w)
+	fmt.Println("cost to 1:", dist[1], "via", tree.Parent[1])
+	// Output:
+	// cost to 1: 5 via 2
+}

@@ -1,0 +1,199 @@
+// Package graph provides the undirected-graph substrate used by the fastnet
+// simulators and protocols: adjacency storage, breadth-first trees, diameter
+// and connectivity queries, and a library of topology generators.
+//
+// Nodes are dense integers 0..N-1. Edges are undirected and simple (no
+// self-loops, no parallel edges). The package is deliberately dependency-free
+// so that protocol packages can reason about topology without pulling in a
+// runtime.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense: a graph with N nodes uses 0..N-1.
+type NodeID int32
+
+// None is the sentinel for "no node" (e.g. the parent of a BFS root).
+const None NodeID = -1
+
+// Edge is an undirected edge between two nodes.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canon returns e with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is a simple undirected graph with dense node IDs.
+type Graph struct {
+	n    int
+	adj  [][]NodeID        // sorted neighbor lists
+	eset map[Edge]struct{} // canonical edges
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{
+		n:    n,
+		adj:  make([][]NodeID, n),
+		eset: make(map[Edge]struct{}),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.eset) }
+
+// valid reports whether u is a node of g.
+func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is a
+// no-op. Self-loops and out-of-range endpoints are rejected.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if !g.valid(u) || !g.valid(v) {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := Edge{U: u, V: v}.Canon()
+	if _, dup := g.eset[e]; dup {
+		return nil
+	}
+	g.eset[e] = struct{}{}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where the edge is statically known to be valid.
+func (g *Graph) MustAddEdge(u, v NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present and reports
+// whether it was present.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	e := Edge{U: u, V: v}.Canon()
+	if _, ok := g.eset[e]; !ok {
+		return false
+	}
+	delete(g.eset, e)
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	return true
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	_, ok := g.eset[Edge{U: u, V: v}.Canon()]
+	return ok
+}
+
+// Neighbors returns the sorted neighbor list of u. The returned slice is
+// shared with the graph; callers must not modify it.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if !g.valid(u) {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int {
+	if !g.valid(u) {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Edges returns all edges in canonical order (sorted by U, then V).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, len(g.eset))
+	for e := range g.eset {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.eset {
+		c.eset[e] = struct{}{}
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]NodeID(nil), a...)
+	}
+	return c
+}
+
+// Equal reports whether g and h have the same node count and edge set.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.eset) != len(h.eset) {
+		return false
+	}
+	for e := range g.eset {
+		if _, ok := h.eset[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// insertSorted inserts v into the sorted slice s if absent.
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeSorted removes v from the sorted slice s if present.
+func removeSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

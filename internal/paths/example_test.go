@@ -1,0 +1,38 @@
+package paths_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/graph"
+	"fastnet/internal/paths"
+)
+
+// Label a tree and decompose it into branching paths: a star needs one
+// round; each leaf is its own chain.
+func ExampleDecompose() {
+	g := graph.Star(5) // center 0, leaves 1..4
+	tree := g.BFSTree(0)
+	labels := paths.Labels(tree)
+	dec := paths.Decompose(tree, labels)
+	fmt.Println("center label:", labels[0])
+	fmt.Println("paths:", len(dec.Paths))
+	_, rounds := dec.Rounds(0)
+	fmt.Println("rounds:", rounds)
+	// Output:
+	// center label: 1
+	// paths: 4
+	// rounds: 1
+}
+
+// A complete binary tree of depth d has root label d and needs about d
+// rounds — the Theorem 3 lower-bound family.
+func ExampleLabels() {
+	g := graph.CompleteBinaryTree(3)
+	tree := g.BFSTree(0)
+	labels := paths.Labels(tree)
+	fmt.Println("root label:", labels[0])
+	fmt.Println("max label:", paths.MaxLabel(labels))
+	// Output:
+	// root label: 3
+	// max label: 3
+}

@@ -1,0 +1,372 @@
+// Package pif implements propagation of information with feedback (PIF,
+// broadcast-with-echo) under the paper's model — an answer to the
+// conclusion's question "can other distributed algorithms be similarly
+// improved?".
+//
+// The broadcast phase is §3's branching-paths scheme (n-1 system calls,
+// O(log n) time). The echo phase is where the new model bites: letting
+// every node acknowledge the root directly serializes n-1 activations at
+// the root's NCU — O(n) time. Instead, the acknowledgements flow up a §5
+// optimal aggregation tree (binomial in the C=0, P=1 regime) computed
+// identically by every node from the broadcast's tree description: n-1
+// more system calls, O(log n) more time. Both phases together: O(n) system
+// calls and O(log n) time, where the pre-switching way costs O(m) and O(n).
+package pif
+
+import (
+	"fmt"
+	"sort"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/globalfn"
+	"fastnet/internal/graph"
+	"fastnet/internal/paths"
+	"fastnet/internal/sim"
+)
+
+// EchoMode selects the feedback discipline.
+type EchoMode int
+
+// Echo disciplines.
+const (
+	// EchoOptimal aggregates acknowledgements over the §5 optimal tree.
+	EchoOptimal EchoMode = iota + 1
+	// EchoDirect lets every node acknowledge the root directly — correct
+	// but Θ(n) time at the root's serialized NCU (the ablation).
+	EchoDirect
+)
+
+// String names the mode.
+func (m EchoMode) String() string {
+	switch m {
+	case EchoOptimal:
+		return "optimal-tree"
+	case EchoDirect:
+		return "direct-to-root"
+	default:
+		return fmt.Sprintf("echo(%d)", int(m))
+	}
+}
+
+// TreeEdge describes one spanning-tree edge with both directions' link IDs,
+// letting any receiver compute tree routes locally.
+type TreeEdge struct {
+	Child  core.NodeID
+	Parent core.NodeID
+	Down   anr.ID // at Parent toward Child
+	Up     anr.ID // at Child toward Parent
+}
+
+// RouteSpec is one branching path of the broadcast phase.
+type RouteSpec struct {
+	Start core.NodeID
+	Links []anr.ID
+}
+
+// bcast is the broadcast message: the branching paths plus everything a
+// receiver needs to take its place in the echo tree.
+type bcast struct {
+	Root   core.NodeID
+	Routes []RouteSpec
+	Edges  []TreeEdge
+	Order  []core.NodeID // spanning-tree nodes in BFS order, root first
+	Mode   EchoMode
+	C, P   core.Time
+}
+
+// ack flows up the echo tree.
+type ack struct {
+	From core.NodeID
+}
+
+// proto is the per-node PIF protocol.
+type proto struct {
+	id   core.NodeID
+	done *doneProbe
+
+	received  bool
+	pending   int
+	early     int // acks that arrived before the broadcast did
+	ackRoute  anr.Header
+	isRoot    bool
+	completed bool
+}
+
+// doneProbe records the root's completion time and the broadcast's reach.
+type doneProbe struct {
+	finished  core.Time
+	lastBcast core.Time
+	acks      int
+}
+
+var _ core.Protocol = (*proto)(nil)
+
+func (p *proto) Init(core.Env) {}
+
+func (p *proto) LinkEvent(core.Env, core.Port) {}
+
+func (p *proto) Deliver(env core.Env, pkt core.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *bcast:
+		if p.received {
+			return
+		}
+		p.received = true
+		if now := env.Now(); now > p.done.lastBcast {
+			p.done.lastBcast = now
+		}
+		p.relay(env, m)
+		p.joinEcho(env, m)
+	case *ack:
+		p.done.acks++
+		if !p.received {
+			// The echo can overtake the broadcast on short routes; hold
+			// the count until this node knows its own role.
+			p.early++
+			return
+		}
+		p.pending--
+		if p.pending == 0 {
+			p.finish(env)
+		}
+	}
+}
+
+// relay forwards the broadcast over the branching paths starting here.
+func (p *proto) relay(env core.Env, m *bcast) {
+	var hs []anr.Header
+	for _, spec := range m.Routes {
+		if spec.Start != p.id {
+			continue
+		}
+		hs = append(hs, anr.CopyPath(spec.Links))
+	}
+	if len(hs) == 0 {
+		return
+	}
+	if err := env.Multicast(hs, m); err != nil {
+		panic(fmt.Sprintf("pif: relay: %v", err))
+	}
+}
+
+// joinEcho computes this node's echo parent and children count from the
+// shared description, then acknowledges if it is an echo leaf.
+func (p *proto) joinEcho(env core.Env, m *bcast) {
+	p.isRoot = p.id == m.Root
+	parent, children, err := echoRole(m, p.id)
+	if err != nil {
+		panic(fmt.Sprintf("pif: echo role: %v", err))
+	}
+	p.pending = children - p.early
+	p.early = 0
+	if !p.isRoot {
+		route, err := treeRoute(m.Edges, p.id, parent)
+		if err != nil {
+			panic(fmt.Sprintf("pif: echo route: %v", err))
+		}
+		p.ackRoute = route
+	}
+	if p.pending <= 0 {
+		p.finish(env)
+	}
+}
+
+// finish sends the aggregated acknowledgement (or completes at the root).
+func (p *proto) finish(env core.Env) {
+	if p.completed {
+		return
+	}
+	p.completed = true
+	if p.isRoot {
+		p.done.finished = env.Now()
+		return
+	}
+	if err := env.Send(p.ackRoute, &ack{From: p.id}); err != nil {
+		panic(fmt.Sprintf("pif: ack: %v", err))
+	}
+}
+
+// echoRole returns a node's parent and child count in the echo tree.
+func echoRole(m *bcast, id core.NodeID) (core.NodeID, int, error) {
+	idx := -1
+	for i, u := range m.Order {
+		if u == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return core.None, 0, fmt.Errorf("node %d not in the broadcast order", id)
+	}
+	n := len(m.Order)
+	if m.Mode == EchoDirect {
+		if idx == 0 {
+			return core.None, n - 1, nil
+		}
+		return m.Order[0], 0, nil
+	}
+	tree, err := echoTree(n, m.C, m.P)
+	if err != nil {
+		return core.None, 0, err
+	}
+	if idx == 0 {
+		return core.None, len(tree.Children[0]), nil
+	}
+	return m.Order[tree.Parent[idx]], len(tree.Children[idx]), nil
+}
+
+// echoTree builds the deterministic §5 optimal tree for n nodes under
+// (C, P); every node computes the same one.
+func echoTree(n int, c, p core.Time) (*globalfn.Tree, error) {
+	params := globalfn.Params{C: globalfn.Time(c), P: globalfn.Time(p)}
+	if params.P == 0 {
+		params.P = 1 // the echo still serializes activations
+	}
+	tstar, err := params.OptimalTime(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	full, err := params.OptimalTree(tstar)
+	if err != nil {
+		return nil, err
+	}
+	return full.PruneTo(n)
+}
+
+// treeRoute builds the ANR route from u to w along spanning-tree edges
+// (up to the least common ancestor, then down).
+func treeRoute(edges []TreeEdge, u, w core.NodeID) (anr.Header, error) {
+	parent := make(map[core.NodeID]TreeEdge, len(edges))
+	depth := make(map[core.NodeID]int, len(edges)+1)
+	children := make(map[core.NodeID][]TreeEdge, len(edges))
+	for _, e := range edges {
+		parent[e.Child] = e
+		children[e.Parent] = append(children[e.Parent], e)
+	}
+	var root core.NodeID = core.None
+	for _, e := range edges {
+		if _, ok := parent[e.Parent]; !ok {
+			root = e.Parent
+			break
+		}
+	}
+	if root == core.None && len(edges) > 0 {
+		return nil, fmt.Errorf("pif: rootless edge set")
+	}
+	// Depths via BFS from the root.
+	depth[root] = 0
+	queue := []core.NodeID{root}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range children[x] {
+			depth[e.Child] = depth[x] + 1
+			queue = append(queue, e.Child)
+		}
+	}
+	// Climb to the LCA.
+	var upLinks []anr.ID
+	var downRev []anr.ID
+	a, b := u, w
+	for depth[a] > depth[b] {
+		e := parent[a]
+		upLinks = append(upLinks, e.Up)
+		a = e.Parent
+	}
+	for depth[b] > depth[a] {
+		e := parent[b]
+		downRev = append(downRev, e.Down)
+		b = e.Parent
+	}
+	for a != b {
+		ea, eb := parent[a], parent[b]
+		upLinks = append(upLinks, ea.Up)
+		downRev = append(downRev, eb.Down)
+		a, b = ea.Parent, eb.Parent
+	}
+	links := upLinks
+	for i := len(downRev) - 1; i >= 0; i-- {
+		links = append(links, downRev[i])
+	}
+	return anr.Direct(links), nil
+}
+
+// Result reports one PIF run.
+type Result struct {
+	Mode EchoMode
+	// Finish is when the root had every acknowledgement.
+	Finish core.Time
+	// BroadcastTime is when the last node received the broadcast.
+	BroadcastTime core.Time
+	Metrics       core.Metrics
+}
+
+// Run executes one PIF from root over g with the given delays.
+func Run(g *graph.Graph, root core.NodeID, mode EchoMode, c, p core.Time) (Result, error) {
+	if !g.Connected() {
+		return Result{}, fmt.Errorf("pif: graph must be connected")
+	}
+	pm := core.NewPortMap(g)
+	bfs := g.BFSTree(root)
+	labels := paths.Labels(bfs)
+	dec := paths.Decompose(bfs, labels)
+
+	msg := &bcast{Root: root, Mode: mode, C: c, P: p}
+	for _, path := range dec.Paths {
+		spec := RouteSpec{Start: path.Start()}
+		prev := path.Start()
+		for _, v := range path.Chain() {
+			lid, ok := pm.Toward(prev, v)
+			if !ok {
+				return Result{}, fmt.Errorf("pif: missing link %d-%d", prev, v)
+			}
+			spec.Links = append(spec.Links, lid)
+			prev = v
+		}
+		msg.Routes = append(msg.Routes, spec)
+	}
+	for u := 0; u < g.N(); u++ {
+		id := core.NodeID(u)
+		if id == root {
+			continue
+		}
+		par := bfs.Parent[id]
+		down, _ := pm.Toward(par, id)
+		up, _ := pm.Toward(id, par)
+		msg.Edges = append(msg.Edges, TreeEdge{Child: id, Parent: par, Down: down, Up: up})
+	}
+	// BFS order, root first.
+	msg.Order = bfsOrder(bfs, root)
+
+	done := &doneProbe{finished: -1}
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return &proto{id: id, done: done}
+	}, sim.WithDelays(c, p), sim.WithDmax(2*g.N()+2))
+	net.Inject(0, root, msg)
+	if _, err := net.Run(); err != nil {
+		return Result{}, err
+	}
+	if done.finished < 0 {
+		return Result{}, fmt.Errorf("pif: root never completed (%d acks)", done.acks)
+	}
+	return Result{
+		Mode:          mode,
+		Finish:        done.finished,
+		BroadcastTime: done.lastBcast,
+		Metrics:       net.Metrics(),
+	}, nil
+}
+
+// bfsOrder lists tree nodes in breadth-first order starting at root.
+func bfsOrder(t *graph.Tree, root core.NodeID) []core.NodeID {
+	children := t.Children()
+	for u := range children {
+		sort.Slice(children[u], func(i, j int) bool { return children[u][i] < children[u][j] })
+	}
+	order := []core.NodeID{root}
+	for i := 0; i < len(order); i++ {
+		order = append(order, children[order[i]]...)
+	}
+	return order
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// envProbe records what the Env interface reports from inside an
+// activation.
+type envProbe struct {
+	id        core.NodeID
+	portTo    core.NodeID
+	portOK    bool
+	now       core.Time
+	randVal   int64
+	mcastErr  error
+	mcastErr2 error
+}
+
+func (p *envProbe) Init(core.Env) {}
+
+func (p *envProbe) Deliver(env core.Env, pkt core.Packet) {
+	if pkt.Payload != "probe" {
+		return
+	}
+	p.id = env.ID()
+	p.now = env.Now()
+	p.randVal = env.Rand().Int63()
+	if port, ok := env.PortToward(2); ok {
+		p.portTo = port.Remote
+		p.portOK = true
+	}
+	// Legal multicast: two distinct first links.
+	p.mcastErr = env.Multicast([]anr.Header{
+		anr.Direct([]anr.ID{1}),
+		anr.Direct([]anr.ID{2}),
+	}, "fanout")
+	// Illegal: same first link twice.
+	p.mcastErr2 = env.Multicast([]anr.Header{
+		anr.Direct([]anr.ID{1}),
+		anr.Direct([]anr.ID{1, 1}),
+	}, "dup")
+}
+
+func (p *envProbe) LinkEvent(core.Env, core.Port) {}
+
+func TestEnvSurface(t *testing.T) {
+	g := graph.Path(3) // node 1 has links to 0 and 2
+	probe := &envProbe{}
+	net := New(g, func(id core.NodeID) core.Protocol {
+		if id == 1 {
+			return probe
+		}
+		return &collectProto{id: id}
+	}, WithDelays(0, 1))
+	net.Inject(0, 1, "probe")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probe.id != 1 {
+		t.Fatalf("ID = %d, want 1", probe.id)
+	}
+	if !probe.portOK || probe.portTo != 2 {
+		t.Fatalf("PortToward(2) = %d,%v", probe.portTo, probe.portOK)
+	}
+	if probe.now != 1 {
+		t.Fatalf("Now = %d, want 1 (activation completion)", probe.now)
+	}
+	if probe.mcastErr != nil {
+		t.Fatalf("legal multicast rejected: %v", probe.mcastErr)
+	}
+	if !errors.Is(probe.mcastErr2, core.ErrMulticastLinks) {
+		t.Fatalf("duplicate-link multicast = %v, want ErrMulticastLinks", probe.mcastErr2)
+	}
+	if net.Graph() != g {
+		t.Fatal("Graph() must return the constructor's graph")
+	}
+	if _, ok := net.Protocol(1).(*envProbe); !ok {
+		t.Fatal("Protocol(1) must return the instance")
+	}
+}
+
+func TestCrashAndRestoreNode(t *testing.T) {
+	g := graph.Star(4)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &collectProto{id: id}
+	}, WithDelays(0, 1))
+	net.CrashNode(0, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := core.NodeID(1); v <= 3; v++ {
+		if net.LinkUp(0, v) {
+			t.Fatalf("link 0-%d still up after crash", v)
+		}
+	}
+	// 3 links x 2 endpoints notified.
+	if got := net.Metrics().LinkEvents; got != 6 {
+		t.Fatalf("LinkEvents = %d, want 6", got)
+	}
+	net.RestoreNode(net.Now(), 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := core.NodeID(1); v <= 3; v++ {
+		if !net.LinkUp(0, v) {
+			t.Fatalf("link 0-%d still down after restore", v)
+		}
+	}
+}
+
+func TestBusyTimeTracksActivations(t *testing.T) {
+	g := graph.Path(2)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &collectProto{id: id}
+	}, WithDelays(0, 4))
+	net.Inject(0, 0, "a")
+	net.Inject(0, 0, "b")
+	net.Inject(0, 1, "c")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	busy := net.BusyTimePerNode()
+	if busy[0] != 8 || busy[1] != 4 {
+		t.Fatalf("busy = %v, want [8 4]", busy)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+func TestHopFilterDropsInTransit(t *testing.T) {
+	// Path 0-1-2: a filter that blocks everything at node 1 kills the
+	// packet before node 2, and before node 1's copy would be made.
+	g := graph.Path(3)
+	protos := make([]*collectProto, 3)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		protos[id] = p
+		return p
+	}, WithDelays(0, 1), WithHopFilter(func(at core.NodeID, payload any) bool {
+		return at != 1
+	}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.CopyPath(links)}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(protos[1].got) != 0 || len(protos[2].got) != 0 {
+		t.Fatalf("filtered packet still delivered: n1=%v n2=%v", protos[1].got, protos[2].got)
+	}
+	m := net.Metrics()
+	if m.Filtered != 1 {
+		t.Fatalf("Filtered = %d, want 1", m.Filtered)
+	}
+	if m.Drops != 0 {
+		t.Fatalf("Drops = %d, want 0 (filter, not failure)", m.Drops)
+	}
+	// Hop 0->1 happened before the filter at node 1.
+	if m.Hops != 1 {
+		t.Fatalf("Hops = %d, want 1", m.Hops)
+	}
+}
+
+func TestHopFilterSkipsSenderAndTerminal(t *testing.T) {
+	// A filter that blocks everything still lets a packet leave its sender
+	// and reach a direct neighbor's NCU (filters act only in transit).
+	g := graph.Path(2)
+	var got int
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &countDeliveries{n: &got}
+	}, WithDelays(0, 1), WithHopFilter(func(core.NodeID, any) bool { return false }))
+	net.nodes[0].proto = &pingProto{route: anr.Direct([]anr.ID{1})}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("neighbor deliveries = %d, want 1", got)
+	}
+	if net.Metrics().Filtered != 0 {
+		t.Fatalf("Filtered = %d, want 0", net.Metrics().Filtered)
+	}
+}
+
+type countDeliveries struct{ n *int }
+
+func (p *countDeliveries) Init(core.Env) {}
+func (p *countDeliveries) Deliver(env core.Env, pkt core.Packet) {
+	if pkt.Payload == "ping" {
+		*p.n++
+	}
+}
+func (p *countDeliveries) LinkEvent(core.Env, core.Port) {}
+
+func TestHeaderBitsAccounting(t *testing.T) {
+	g := graph.Path(4) // max degree 2 -> ID width 2, so 3 bits per hop
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &collectProto{id: id}
+	}, WithDelays(0, 1))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if net.PortMap().IDWidth() != 2 {
+		t.Fatalf("IDWidth = %d, want 2", net.PortMap().IDWidth())
+	}
+	// 3 hops + terminator = 4 header entries at 3 bits each.
+	if m.HeaderBits != 12 {
+		t.Fatalf("HeaderBits = %d, want 12", m.HeaderBits)
+	}
+	if m.MaxHeaderHops != 3 {
+		t.Fatalf("MaxHeaderHops = %d, want 3", m.MaxHeaderHops)
+	}
+}

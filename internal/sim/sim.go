@@ -1,0 +1,507 @@
+// Package sim is the deterministic discrete-event runtime for fastnet
+// protocols. It realizes the paper's delay model directly: every link
+// traversal costs a hardware delay bounded by C, every NCU activation costs
+// a software delay bounded by P, and the single processor per node
+// serializes activations. With exact delays (the default) a run is a
+// worst-case execution, which is what the paper's time-complexity statements
+// quantify over; with randomized delays a run samples an asynchronous
+// execution.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/trace"
+)
+
+// ErrEventBudget is returned by Run when the event budget is exhausted,
+// which almost always means a protocol is looping.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+type config struct {
+	hwDelay     core.Time // C
+	swDelay     core.Time // P
+	randomize   bool
+	seed        int64
+	dmax        int
+	sink        trace.Sink
+	eventBudget int64
+	filter      core.HopFilter
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+// WithDelays sets the hardware (per hop) and software (per activation)
+// delays. In exact mode these are the delays, not just bounds.
+func WithDelays(c, p core.Time) Option {
+	return func(cf *config) { cf.hwDelay, cf.swDelay = c, p }
+}
+
+// WithRandomDelays draws each hardware delay uniformly from [1, C] (0 when
+// C == 0) and each software delay from [1, P], modelling an asynchronous
+// execution whose delays respect the bounds. Note that random hardware
+// delays may reorder packets on a link; protocols that rely on FIFO links
+// (§5 of the paper) should use exact delays.
+func WithRandomDelays() Option {
+	return func(cf *config) { cf.randomize = true }
+}
+
+// WithSeed seeds all random sources. Runs are reproducible per seed.
+func WithSeed(seed int64) Option {
+	return func(cf *config) { cf.seed = seed }
+}
+
+// WithDmax sets the model's maximal ANR path length; 0 disables the check.
+func WithDmax(d int) Option {
+	return func(cf *config) { cf.dmax = d }
+}
+
+// WithTrace attaches a trace sink.
+func WithTrace(s trace.Sink) Option {
+	return func(cf *config) { cf.sink = s }
+}
+
+// WithEventBudget overrides the runaway-protocol guard (default 50M events).
+func WithEventBudget(n int64) Option {
+	return func(cf *config) { cf.eventBudget = n }
+}
+
+// WithHopFilter installs a programmable switching filter — the paper's
+// extended hardware model ("update of a stored variable, table lookup and
+// compare function", §2/§6). The filter runs at hardware speed in every
+// transit SS (not the sender's, and never on the NCU terminator); returning
+// false discards the packet silently.
+func WithHopFilter(f core.HopFilter) Option {
+	return func(cf *config) { cf.filter = f }
+}
+
+// Network is a simulated network: a graph, one protocol instance per node,
+// and the event queue.
+type Network struct {
+	g     *graph.Graph
+	pm    *core.PortMap
+	cfg   config
+	queue eventQueue
+	seq   uint64
+	now   core.Time
+	nodes []*node
+	down  map[graph.Edge]bool
+	rng   *rand.Rand // network-level source (hardware delays)
+
+	metrics    core.Metrics
+	perNode    []int64     // deliveries per node
+	busy       []core.Time // accumulated NCU busy time per node
+	actSeq     int64
+	msgSeq     int64
+	eventCount int64
+}
+
+type node struct {
+	id        core.NodeID
+	proto     core.Protocol
+	rng       *rand.Rand
+	ports     []core.Port
+	busyUntil core.Time
+	env       env
+}
+
+type env struct {
+	net *Network
+	nd  *node
+	act int64 // current activation ordinal (0 outside activations)
+}
+
+var _ core.Env = (*env)(nil)
+
+// New builds a network over g, instantiating one protocol per node via f and
+// calling Init on each.
+func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
+	cfg := config{
+		hwDelay:     0,
+		swDelay:     1,
+		seed:        1,
+		sink:        trace.Discard{},
+		eventBudget: 50_000_000,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pm := core.NewPortMap(g)
+	net := &Network{
+		g:       g,
+		pm:      pm,
+		cfg:     cfg,
+		down:    make(map[graph.Edge]bool),
+		rng:     rand.New(rand.NewSource(cfg.seed)),
+		nodes:   make([]*node, g.N()),
+		perNode: make([]int64, g.N()),
+		busy:    make([]core.Time, g.N()),
+	}
+	for i := range net.nodes {
+		id := core.NodeID(i)
+		nd := &node{
+			id:    id,
+			proto: f(id),
+			rng:   rand.New(rand.NewSource(cfg.seed + int64(i) + 1)),
+			ports: append([]core.Port(nil), pm.Ports(id)...),
+		}
+		nd.env = env{net: net, nd: nd}
+		net.nodes[i] = nd
+	}
+	for _, nd := range net.nodes {
+		nd.proto.Init(&nd.env)
+	}
+	return net
+}
+
+// PortMap exposes the static port assignment (used by experiment drivers to
+// precompute routes; protocols must not use it).
+func (net *Network) PortMap() *core.PortMap { return net.pm }
+
+// Graph returns the underlying topology.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// Now returns the current virtual time.
+func (net *Network) Now() core.Time { return net.now }
+
+// Metrics returns the accumulated cost measures.
+func (net *Network) Metrics() core.Metrics { return net.metrics }
+
+// DeliveriesPerNode returns a copy of the per-node delivery counts.
+func (net *Network) DeliveriesPerNode() []int64 {
+	return append([]int64(nil), net.perNode...)
+}
+
+// BusyTimePerNode returns each NCU's accumulated processing time; divided
+// by the finish time it is the processor utilization the paper's
+// introduction argues about.
+func (net *Network) BusyTimePerNode() []core.Time {
+	return append([]core.Time(nil), net.busy...)
+}
+
+// Protocol returns node u's protocol instance, for post-run inspection.
+func (net *Network) Protocol(u core.NodeID) core.Protocol { return net.nodes[u].proto }
+
+// Inject schedules an external packet (e.g. a START message) for node v's
+// NCU at time t. It counts as an injection, not a delivery.
+func (net *Network) Inject(t core.Time, v core.NodeID, payload any) {
+	net.schedule(t, func() {
+		net.enqueueActivation(v, core.Packet{
+			Payload:   payload,
+			Reverse:   anr.Local(),
+			ArrivedOn: anr.NCU,
+			Injected:  true,
+		}, 0, false)
+	})
+}
+
+// SetLink schedules a link state change at time t. The hardware state flips
+// at t; both endpoint NCUs receive a LinkEvent activation (the data-link
+// notification).
+func (net *Network) SetLink(t core.Time, u, v core.NodeID, up bool) {
+	if !net.g.HasEdge(u, v) {
+		panic(fmt.Sprintf("sim: SetLink on non-edge %d-%d", u, v))
+	}
+	net.schedule(t, func() {
+		e := graph.Edge{U: u, V: v}.Canon()
+		net.down[e] = !up
+		for _, end := range [2]core.NodeID{u, v} {
+			other := v
+			if end == v {
+				other = u
+			}
+			nd := net.nodes[end]
+			lid, _ := net.pm.Toward(end, other)
+			port := &nd.ports[int(lid)-1]
+			port.Up = up
+			net.enqueueLinkEvent(end, *port)
+		}
+	})
+}
+
+// LinkUp reports the current hardware state of edge {u, v}.
+func (net *Network) LinkUp(u, v core.NodeID) bool {
+	return !net.down[graph.Edge{U: u, V: v}.Canon()]
+}
+
+// CrashNode schedules the model's node failure at time t: an inactive node
+// is one all of whose links are inactive (§2), so every incident link goes
+// down and all neighbors get data-link notifications.
+func (net *Network) CrashNode(t core.Time, v core.NodeID) {
+	for _, nb := range net.g.Neighbors(v) {
+		net.SetLink(t, v, nb, false)
+	}
+}
+
+// RestoreNode schedules the reverse of CrashNode.
+func (net *Network) RestoreNode(t core.Time, v core.NodeID) {
+	for _, nb := range net.g.Neighbors(v) {
+		net.SetLink(t, v, nb, true)
+	}
+}
+
+// Run drains the event queue and returns the finish time (the time of the
+// last NCU activation).
+func (net *Network) Run() (core.Time, error) {
+	return net.run(-1)
+}
+
+// RunUntil processes events with time <= deadline, leaving later events
+// queued, and advances the clock to the deadline.
+func (net *Network) RunUntil(deadline core.Time) (core.Time, error) {
+	return net.run(deadline)
+}
+
+func (net *Network) run(deadline core.Time) (core.Time, error) {
+	for net.queue.Len() > 0 {
+		if deadline >= 0 && net.queue[0].t > deadline {
+			net.now = deadline
+			return net.metrics.FinishTime, nil
+		}
+		net.eventCount++
+		if net.eventCount > net.cfg.eventBudget {
+			return net.metrics.FinishTime, fmt.Errorf("%w (%d events)", ErrEventBudget, net.eventCount)
+		}
+		ev := heap.Pop(&net.queue).(event)
+		net.now = ev.t
+		ev.fn()
+	}
+	return net.metrics.FinishTime, nil
+}
+
+func (net *Network) schedule(t core.Time, fn func()) {
+	if t < net.now {
+		t = net.now
+	}
+	net.seq++
+	heap.Push(&net.queue, event{t: t, seq: net.seq, fn: fn})
+}
+
+// enqueueActivation reserves the node's NCU for one software delay starting
+// no earlier than now and runs the Deliver callback at completion time.
+func (net *Network) enqueueActivation(v core.NodeID, pkt core.Packet, msg int64, isCopy bool) {
+	nd := net.nodes[v]
+	start := net.now
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	dur := net.swDelayFor(nd)
+	done := start + dur
+	nd.busyUntil = done
+	net.busy[v] += dur
+	net.schedule(done, func() {
+		net.actSeq++
+		nd.env.act = net.actSeq
+		if pkt.Injected {
+			net.metrics.Injections++
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindInject, Time: int64(net.now), Node: v, Act: net.actSeq, Msg: msg})
+		} else {
+			net.metrics.Deliveries++
+			net.perNode[v]++
+			if isCopy {
+				net.metrics.CopyDeliveries++
+			}
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindDeliver, Time: int64(net.now), Node: v, Act: net.actSeq, Msg: msg})
+		}
+		if net.now > net.metrics.FinishTime {
+			net.metrics.FinishTime = net.now
+		}
+		nd.proto.Deliver(&nd.env, pkt)
+		nd.env.act = 0
+	})
+}
+
+func (net *Network) enqueueLinkEvent(v core.NodeID, port core.Port) {
+	nd := net.nodes[v]
+	start := net.now
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	dur := net.swDelayFor(nd)
+	done := start + dur
+	nd.busyUntil = done
+	net.busy[v] += dur
+	net.schedule(done, func() {
+		net.actSeq++
+		nd.env.act = net.actSeq
+		net.metrics.LinkEvents++
+		if net.now > net.metrics.FinishTime {
+			net.metrics.FinishTime = net.now
+		}
+		net.cfg.sink.Record(trace.Event{Kind: trace.KindLinkEvent, Time: int64(net.now), Node: v, Act: net.actSeq})
+		nd.proto.LinkEvent(&nd.env, port)
+		nd.env.act = 0
+	})
+}
+
+func (net *Network) swDelayFor(nd *node) core.Time {
+	p := net.cfg.swDelay
+	if !net.cfg.randomize || p <= 1 {
+		return p
+	}
+	return 1 + core.Time(nd.rng.Int63n(int64(p)))
+}
+
+func (net *Network) hwDelayOnce() core.Time {
+	c := net.cfg.hwDelay
+	if !net.cfg.randomize || c <= 1 {
+		return c
+	}
+	return 1 + core.Time(net.rng.Int63n(int64(c)))
+}
+
+// route launches packet routing from node src at the current time. Hops are
+// stepped as individual events so that link failures affect packets in
+// flight. Semantics match core.WalkRoute.
+func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	if err := h.CheckDmax(net.cfg.dmax); err != nil {
+		net.metrics.DmaxViolations++
+		return err
+	}
+	// Static pre-validation: every named link must exist in the topology.
+	cur := src
+	for _, hop := range h {
+		if hop.Link == anr.NCU {
+			break
+		}
+		port, err := net.pm.Resolve(cur, hop.Link)
+		if err != nil {
+			return err
+		}
+		cur = port.Remote
+	}
+	net.msgSeq++
+	msg := net.msgSeq
+	net.metrics.Packets++
+	hops := int64(h.HopCount())
+	net.metrics.HeaderBits += (hops + 1) * int64(net.pm.IDWidth()+1)
+	if hops > net.metrics.MaxHeaderHops {
+		net.metrics.MaxHeaderHops = hops
+	}
+	net.cfg.sink.Record(trace.Event{Kind: trace.KindSend, Time: int64(net.now), Node: src, Act: act, Msg: msg})
+	net.stepHop(src, h, 0, anr.Local(), anr.NCU, payload, msg)
+	return nil
+}
+
+// stepHop consumes header position i at node cur, at the current time.
+func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, rev anr.Header, arrivedOn anr.ID, payload any, msg int64) {
+	hop := h[i]
+	if hop.Link == anr.NCU {
+		net.enqueueActivation(cur, core.Packet{
+			Payload:   payload,
+			Reverse:   rev,
+			ArrivedOn: arrivedOn,
+		}, msg, false)
+		return
+	}
+	port, err := net.pm.Resolve(cur, hop.Link)
+	if err != nil {
+		// Pre-validated at send; unreachable unless topology changed shape.
+		net.metrics.Drops++
+		return
+	}
+	if i > 0 && net.cfg.filter != nil && !net.cfg.filter(cur, payload) {
+		net.metrics.Filtered++
+		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
+		return
+	}
+	if hop.Copy {
+		net.enqueueActivation(cur, core.Packet{
+			Payload:     payload,
+			Remaining:   h[i+1:].Clone(),
+			Reverse:     rev,
+			ArrivedOn:   arrivedOn,
+			ForwardedOn: hop.Link,
+		}, msg, true)
+	}
+	if net.down[graph.Edge{U: cur, V: port.Remote}.Canon()] {
+		net.metrics.Drops++
+		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
+		return
+	}
+	net.metrics.Hops++
+	next := make(anr.Header, 0, len(rev)+1)
+	next = append(next, anr.Hop{Link: port.RemoteID})
+	nextRev := append(next, rev...)
+	at := net.now + net.hwDelayOnce()
+	net.schedule(at, func() {
+		net.stepHop(port.Remote, h, i+1, nextRev, port.RemoteID, payload, msg)
+	})
+}
+
+// --- env: the core.Env implementation handed to protocols ---
+
+func (e *env) ID() core.NodeID { return e.nd.id }
+
+func (e *env) Ports() []core.Port { return e.nd.ports }
+
+func (e *env) PortToward(nb core.NodeID) (core.Port, bool) {
+	lid, ok := e.net.pm.Toward(e.nd.id, nb)
+	if !ok {
+		return core.Port{}, false
+	}
+	return e.nd.ports[int(lid)-1], true
+}
+
+func (e *env) Send(h anr.Header, payload any) error {
+	e.net.metrics.Sends++
+	return e.net.route(e.nd.id, h, payload, e.act)
+}
+
+func (e *env) Multicast(hs []anr.Header, payload any) error {
+	if err := core.ValidateMulticast(hs); err != nil {
+		return err
+	}
+	e.net.metrics.Sends++
+	for _, h := range hs {
+		if err := e.net.route(e.nd.id, h, payload, e.act); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *env) Now() core.Time { return e.net.now }
+
+func (e *env) Rand() *rand.Rand { return e.nd.rng }
+
+// --- event queue ---
+
+type event struct {
+	t   core.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

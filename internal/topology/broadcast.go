@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/paths"
+)
+
+// Trigger starts one periodic broadcast at the receiving node. The
+// experiment driver injects it (the paper's periodic timer).
+type Trigger struct{}
+
+// RouteSpec is one branching path, precomputed by the broadcast origin so
+// that path-start nodes can build ANR headers without global knowledge: the
+// link IDs are local to each node along the chain, taken from the origin's
+// topology database.
+type RouteSpec struct {
+	Start core.NodeID
+	Nodes []core.NodeID // chain nodes, in order
+	Links []anr.ID      // Links[i] = ID at the i-th sender toward Nodes[i]
+}
+
+// Msg is one topology broadcast packet: the origin's (or, in full-knowledge
+// mode, all known) local-topology records plus the branching-path route
+// specs that tell every start node what to forward. Receivers must treat a
+// Msg as immutable: selective copies share the value.
+type Msg struct {
+	Origin core.NodeID
+	Seq    uint64
+	Recs   []Record
+	Routes []RouteSpec
+}
+
+// Broadcast is the paper's §3.1 branching-paths topology-maintenance
+// protocol.
+type Broadcast struct {
+	localTopo
+
+	full bool // broadcast everything known, not just the local topology
+
+	// Stats for experiments.
+	Broadcasts int
+	Forwards   int
+}
+
+var _ core.Protocol = (*Broadcast)(nil)
+
+// NewBroadcast returns the branching-paths protocol for one node. With full
+// set, every broadcast carries all records the node knows (the paper's
+// "improved to log d" variant); otherwise only the local topology.
+func NewBroadcast(id core.NodeID, full bool) *Broadcast {
+	return &Broadcast{localTopo: newLocalTopo(id), full: full}
+}
+
+// Init records the node's own local topology.
+func (b *Broadcast) Init(env core.Env) {
+	b.snapshot(env)
+}
+
+// LinkEvent refreshes the local record; the new state is carried by the next
+// broadcast.
+func (b *Broadcast) LinkEvent(env core.Env, _ core.Port) {
+	b.refresh(env)
+}
+
+// Deliver handles triggers (start a broadcast) and broadcast packets
+// (record, then forward the paths that start here).
+func (b *Broadcast) Deliver(env core.Env, pkt core.Packet) {
+	switch m := pkt.Payload.(type) {
+	case Trigger:
+		b.startBroadcast(env)
+	case *Msg:
+		for _, r := range m.Recs {
+			b.db.Update(r)
+		}
+		b.forward(env, m)
+	}
+}
+
+func (b *Broadcast) startBroadcast(env core.Env) {
+	b.refresh(env)
+	b.Broadcasts++
+
+	view := b.db.View()
+	if int(b.id) >= view.N() {
+		return // knows nothing beyond itself
+	}
+	tree := view.BFSTree(b.id)
+	labels := paths.Labels(tree)
+	dec := paths.Decompose(tree, labels)
+	routes, err := b.routeSpecs(dec)
+	if err != nil {
+		// A stale view can name links the origin has no record for; skip
+		// this broadcast round, later rounds repair the view.
+		return
+	}
+	msg := &Msg{Origin: b.id, Seq: b.seq, Routes: routes}
+	if b.full {
+		msg.Recs = b.db.Records()
+	} else {
+		rec, _ := b.db.Record(b.id)
+		msg.Recs = []Record{rec}
+	}
+	b.forward(env, msg)
+}
+
+// routeSpecs converts a decomposition into wire route specs using the
+// database's link IDs.
+func (b *Broadcast) routeSpecs(dec *paths.Decomposition) ([]RouteSpec, error) {
+	specs := make([]RouteSpec, 0, len(dec.Paths))
+	for _, p := range dec.Paths {
+		spec := RouteSpec{
+			Start: p.Start(),
+			Nodes: append([]core.NodeID(nil), p.Chain()...),
+		}
+		prev := p.Start()
+		for _, v := range spec.Nodes {
+			lid, ok := b.db.LinkID(prev, v)
+			if !ok {
+				return nil, fmt.Errorf("topology: no known link %d->%d", prev, v)
+			}
+			spec.Links = append(spec.Links, lid)
+			prev = v
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// forward relays the message over every path starting at this node, within
+// the same activation (one system call, free multicast).
+func (b *Broadcast) forward(env core.Env, m *Msg) {
+	var hs []anr.Header
+	for _, spec := range m.Routes {
+		if spec.Start != b.id {
+			continue
+		}
+		hs = append(hs, anr.CopyPath(spec.Links))
+	}
+	if len(hs) == 0 {
+		return
+	}
+	if m.Origin != b.id {
+		b.Forwards++
+	}
+	// Route errors (e.g. dmax) surface as lost coverage; later broadcast
+	// rounds repair it, mirroring the paper's loss handling.
+	_ = env.Multicast(hs, m)
+}
+
+// RecordsForGraph builds the true records of every node of g (seq 0, all
+// links up except those in down); used to warm-start databases.
+func RecordsForGraph(g *graph.Graph, pm *core.PortMap, down map[graph.Edge]bool) []Record {
+	recs := make([]Record, 0, g.N())
+	for u := 0; u < g.N(); u++ {
+		id := core.NodeID(u)
+		ports := pm.Ports(id)
+		rec := Record{Node: id, Links: make([]LinkInfo, 0, len(ports))}
+		for _, p := range ports {
+			up := !down[graph.Edge{U: id, V: p.Remote}.Canon()]
+			rec.Links = append(rec.Links, LinkInfo{Local: p.Local, Remote: p.RemoteID, Neighbor: p.Remote, Up: up})
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Node < recs[j].Node })
+	return recs
+}

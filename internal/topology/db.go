@@ -1,0 +1,316 @@
+// Package topology implements the paper's topology-maintenance protocols
+// (§3): the branching-paths broadcast (n system calls, O(log n) time per
+// broadcast), the ARPANET flooding baseline (O(m) system calls, O(n) time),
+// the broken one-shot DFS broadcast used in the paper's non-convergence
+// example, and the BFS-layers variant from footnote 1 (one time unit per
+// broadcast, requires dmax = O(n^2)).
+package topology
+
+import (
+	"fmt"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// LinkInfo is one adjacent link as reported in a node's local topology.
+// Remote is the neighbor's local ID for the same link, known from the
+// data-link initialization handshake ([BS84]); carrying it makes every
+// reported edge routable in both directions. Load is the link's reported
+// load condition — the paper's broadcasts carry "the adjacent links' states
+// and loads".
+type LinkInfo struct {
+	Local    anr.ID
+	Remote   anr.ID
+	Neighbor core.NodeID
+	Up       bool
+	Load     uint32
+}
+
+// Record is a sequence-numbered snapshot of one node's local topology.
+type Record struct {
+	Node  core.NodeID
+	Seq   uint64
+	Links []LinkInfo
+}
+
+// clone returns a deep copy of r.
+func (r Record) clone() Record {
+	c := r
+	c.Links = append([]LinkInfo(nil), r.Links...)
+	return c
+}
+
+// recordFromPorts snapshots a node's current ports as a Record. loads may
+// be nil.
+func recordFromPorts(id core.NodeID, seq uint64, ports []core.Port, loads map[anr.ID]uint32) Record {
+	rec := Record{Node: id, Seq: seq, Links: make([]LinkInfo, 0, len(ports))}
+	for _, p := range ports {
+		rec.Links = append(rec.Links, LinkInfo{
+			Local:    p.Local,
+			Remote:   p.RemoteID,
+			Neighbor: p.Remote,
+			Up:       p.Up,
+			Load:     loads[p.Local],
+		})
+	}
+	return rec
+}
+
+// localTopo is the per-node state shared by all maintenance protocols: the
+// topology database, the local record's sequence number, and the reported
+// link loads.
+type localTopo struct {
+	id    core.NodeID
+	db    *DB
+	seq   uint64
+	loads map[anr.ID]uint32
+}
+
+func newLocalTopo(id core.NodeID) localTopo {
+	return localTopo{id: id, db: NewDB(), loads: make(map[anr.ID]uint32)}
+}
+
+// DB exposes the node's topology database for driver checks.
+func (l *localTopo) DB() *DB { return l.db }
+
+// Preload installs records (warm start for single-broadcast experiments).
+func (l *localTopo) Preload(recs []Record) {
+	for _, r := range recs {
+		l.db.Update(r)
+	}
+}
+
+// SetLoad records the load condition of a local link; the next broadcast
+// carries it.
+func (l *localTopo) SetLoad(link anr.ID, load uint32) {
+	l.loads[link] = load
+}
+
+// refresh bumps the sequence number and re-snapshots the local record.
+func (l *localTopo) refresh(env core.Env) {
+	l.seq++
+	l.db.Update(recordFromPorts(l.id, l.seq, env.Ports(), l.loads))
+}
+
+// snapshot stores the current local record without bumping the sequence
+// number (used by Init).
+func (l *localTopo) snapshot(env core.Env) {
+	l.db.Update(recordFromPorts(l.id, l.seq, env.Ports(), l.loads))
+}
+
+// DB is one node's view of the network topology: the newest Record per node.
+type DB struct {
+	recs map[core.NodeID]Record
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{recs: make(map[core.NodeID]Record)}
+}
+
+// Update installs rec if it is newer than the stored record for its node and
+// reports whether anything changed.
+func (db *DB) Update(rec Record) bool {
+	old, ok := db.recs[rec.Node]
+	if ok && old.Seq >= rec.Seq {
+		return false
+	}
+	db.recs[rec.Node] = rec.clone()
+	return true
+}
+
+// Record returns the stored record for u.
+func (db *DB) Record(u core.NodeID) (Record, bool) {
+	r, ok := db.recs[u]
+	return r, ok
+}
+
+// Records returns all stored records, one per node, in unspecified order.
+func (db *DB) Records() []Record {
+	out := make([]Record, 0, len(db.recs))
+	for _, r := range db.recs {
+		out = append(out, r.clone())
+	}
+	return out
+}
+
+// Len returns the number of nodes with a stored record.
+func (db *DB) Len() int { return len(db.recs) }
+
+// LinkID returns u's local link ID toward v according to the stored
+// records. Either endpoint's record suffices: u's record names the ID
+// directly, v's record carries it as the remote ID.
+func (db *DB) LinkID(u, v core.NodeID) (anr.ID, bool) {
+	if r, ok := db.recs[u]; ok {
+		for _, l := range r.Links {
+			if l.Neighbor == v {
+				return l.Local, true
+			}
+		}
+		return 0, false
+	}
+	if r, ok := db.recs[v]; ok {
+		for _, l := range r.Links {
+			if l.Neighbor == u {
+				return l.Remote, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Route builds an ANR source route from src to dst over a minimum-hop path
+// of the believed topology. This is the model's division of labor: control
+// software computes routes from its map, the hardware executes them.
+func (db *DB) Route(src, dst core.NodeID) (anr.Header, error) {
+	if src == dst {
+		return anr.Local(), nil
+	}
+	view := db.View()
+	if int(src) >= view.N() || int(dst) >= view.N() {
+		return nil, fmt.Errorf("topology: no route %d->%d: unknown node", src, dst)
+	}
+	path := view.BFSTree(src).PathFromRoot(dst)
+	if path == nil {
+		return nil, fmt.Errorf("topology: no route %d->%d in the believed topology", src, dst)
+	}
+	links := make([]anr.ID, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		lid, ok := db.LinkID(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("topology: believed edge %d-%d has no known link ID", path[i], path[i+1])
+		}
+		links = append(links, lid)
+	}
+	return anr.Direct(links), nil
+}
+
+// LoadOf returns the believed load of edge {u, v}: the maximum of the two
+// endpoints' reports (0 if neither endpoint reported).
+func (db *DB) LoadOf(u, v core.NodeID) uint32 {
+	var load uint32
+	if r, ok := db.recs[u]; ok {
+		for _, l := range r.Links {
+			if l.Neighbor == v && l.Load > load {
+				load = l.Load
+			}
+		}
+	}
+	if r, ok := db.recs[v]; ok {
+		for _, l := range r.Links {
+			if l.Neighbor == u && l.Load > load {
+				load = l.Load
+			}
+		}
+	}
+	return load
+}
+
+// RouteMinLoad builds an ANR route from src to dst minimizing the summed
+// link costs (each hop costs 1 + load) — the routing use the paper gives
+// for the disseminated load condition (§3: broadcasts carry "the adjacent
+// links' states and loads").
+func (db *DB) RouteMinLoad(src, dst core.NodeID) (anr.Header, error) {
+	if src == dst {
+		return anr.Local(), nil
+	}
+	view := db.View()
+	if int(src) >= view.N() || int(dst) >= view.N() {
+		return nil, fmt.Errorf("topology: no route %d->%d: unknown node", src, dst)
+	}
+	tree, dist := view.ShortestTree(src, func(u, v core.NodeID) int64 {
+		return 1 + int64(db.LoadOf(u, v))
+	})
+	if dist[dst] < 0 {
+		return nil, fmt.Errorf("topology: no route %d->%d in the believed topology", src, dst)
+	}
+	path := tree.PathFromRoot(dst)
+	links := make([]anr.ID, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		lid, ok := db.LinkID(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("topology: believed edge %d-%d has no known link ID", path[i], path[i+1])
+		}
+		links = append(links, lid)
+	}
+	return anr.Direct(links), nil
+}
+
+// View materializes the believed topology as a graph: the edge {u, v} is
+// present iff u's record lists v as up and v's record (if known) agrees.
+// The graph is sized to hold the largest known node ID.
+func (db *DB) View() *graph.Graph {
+	max := core.NodeID(-1)
+	for u, r := range db.recs {
+		if u > max {
+			max = u
+		}
+		for _, l := range r.Links {
+			if l.Neighbor > max {
+				max = l.Neighbor
+			}
+		}
+	}
+	g := graph.New(int(max) + 1)
+	up := func(u, v core.NodeID) (bool, bool) { // (up, known)
+		r, ok := db.recs[u]
+		if !ok {
+			return false, false
+		}
+		for _, l := range r.Links {
+			if l.Neighbor == v {
+				return l.Up, true
+			}
+		}
+		return false, true // known record, link not listed: down/absent
+	}
+	for u, r := range db.recs {
+		for _, l := range r.Links {
+			if !l.Up {
+				continue
+			}
+			vUp, vKnown := up(l.Neighbor, u)
+			if !vKnown || vUp {
+				g.MustAddEdge(u, l.Neighbor) // idempotent for the reverse pass
+			}
+		}
+	}
+	return g
+}
+
+// KnowsNodes reports whether, for every listed node, the database holds a
+// record matching that node's actual local topology in g with the given set
+// of failed edges (canonical form).
+func (db *DB) KnowsNodes(nodes []core.NodeID, g *graph.Graph, down map[graph.Edge]bool) bool {
+	for _, u := range nodes {
+		rec, ok := db.recs[u]
+		if !ok {
+			return false
+		}
+		if len(rec.Links) != g.Degree(u) {
+			return false
+		}
+		for _, l := range rec.Links {
+			if !g.HasEdge(rec.Node, l.Neighbor) {
+				return false
+			}
+			isDown := down[graph.Edge{U: rec.Node, V: l.Neighbor}.Canon()]
+			if l.Up == isDown {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KnowsExactly reports whether the database matches the whole actual
+// topology (Theorem 1's condition restricted to a connected network).
+func (db *DB) KnowsExactly(g *graph.Graph, down map[graph.Edge]bool) bool {
+	all := make([]core.NodeID, g.N())
+	for i := range all {
+		all[i] = core.NodeID(i)
+	}
+	return db.KnowsNodes(all, g, down)
+}

@@ -1,0 +1,59 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/topology"
+)
+
+// One §3.1 branching-paths broadcast: exactly n-1 system calls, O(log n)
+// time, on any topology.
+func ExampleSingleBroadcast() {
+	g := graph.Grid(8, 8)
+	res, err := topology.SingleBroadcast(g, 0, topology.ModeBranching)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d deliveries=%d time=%d\n", g.N(), res.Metrics.Deliveries, res.Metrics.FinishTime)
+	// Output:
+	// n=64 deliveries=63 time=3
+}
+
+// Theorem 1: periodic broadcasts make every view converge after changes
+// stop.
+func ExampleRunConvergence() {
+	g := graph.Ring(12)
+	changes := []topology.Change{
+		{Round: 1, U: 0, V: 1, Up: false},
+	}
+	res, err := topology.RunConvergence(g, topology.ConvOptions{
+		Mode:      topology.ModeBranching,
+		Warm:      true,
+		MaxRounds: 20,
+	}, changes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged=%v\n", res.Converged)
+	// Output:
+	// converged=true
+}
+
+// A converged database builds executable source routes.
+func ExampleDB_Route() {
+	g := graph.Ring(10)
+	pm := core.NewPortMap(g)
+	db := topology.NewDB()
+	for _, r := range topology.RecordsForGraph(g, pm, nil) {
+		db.Update(r)
+	}
+	h, err := db.Route(0, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("route 0->5 takes %d hops\n", h.HopCount())
+	// Output:
+	// route 0->5 takes 5 hops
+}

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// FloodMsg is one flooding packet: a single node's local-topology record
+// (or, in full-knowledge mode, several records).
+type FloodMsg struct {
+	Origin core.NodeID
+	Seq    uint64
+	Recs   []Record
+}
+
+// Flood is the ARPANET-style baseline [MRR80]: every broadcast sends the
+// local topology over every link, and each node forwards the first copy of a
+// newer record over all other links. Per broadcast it costs O(m) system
+// calls and O(n) time under the new measures (every hop is an NCU visit).
+type Flood struct {
+	localTopo
+
+	full bool
+
+	// best tracks the newest sequence number forwarded per origin, so each
+	// broadcast is flooded once per node.
+	best map[core.NodeID]uint64
+
+	Broadcasts int
+	Forwards   int
+}
+
+var _ core.Protocol = (*Flood)(nil)
+
+// NewFlood returns the flooding protocol for one node.
+func NewFlood(id core.NodeID, full bool) *Flood {
+	return &Flood{localTopo: newLocalTopo(id), full: full, best: make(map[core.NodeID]uint64)}
+}
+
+// Init records the local topology.
+func (f *Flood) Init(env core.Env) {
+	f.snapshot(env)
+}
+
+// LinkEvent refreshes the local record.
+func (f *Flood) LinkEvent(env core.Env, _ core.Port) {
+	f.refresh(env)
+}
+
+// Deliver handles triggers and flood packets.
+func (f *Flood) Deliver(env core.Env, pkt core.Packet) {
+	switch m := pkt.Payload.(type) {
+	case Trigger:
+		f.refresh(env)
+		f.Broadcasts++
+		msg := &FloodMsg{Origin: f.id, Seq: f.seq}
+		if f.full {
+			msg.Recs = f.db.Records()
+		} else {
+			rec, _ := f.db.Record(f.id)
+			msg.Recs = []Record{rec}
+		}
+		f.best[f.id] = f.seq
+		f.relay(env, msg, anr.NCU)
+	case *FloodMsg:
+		for _, r := range m.Recs {
+			f.db.Update(r)
+		}
+		if f.best[m.Origin] >= m.Seq {
+			return // already forwarded this broadcast
+		}
+		f.best[m.Origin] = m.Seq
+		f.Forwards++
+		f.relay(env, m, pkt.ArrivedOn)
+	}
+}
+
+// relay sends the message one hop over every up link except the arrival one.
+func (f *Flood) relay(env core.Env, m *FloodMsg, arrived anr.ID) {
+	var hs []anr.Header
+	for _, p := range env.Ports() {
+		if p.Local == arrived || !p.Up {
+			continue
+		}
+		hs = append(hs, anr.Direct([]anr.ID{p.Local}))
+	}
+	if len(hs) == 0 {
+		return
+	}
+	_ = env.Multicast(hs, m)
+}

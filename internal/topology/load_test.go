@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// TestLoadPropagation: the paper's broadcasts carry "the adjacent links'
+// states and loads"; a load set at one node must appear in every other
+// node's database after a broadcast round.
+func TestLoadPropagation(t *testing.T) {
+	g := graph.GNP(20, 0.2, 3)
+	net := sim.New(g, NewMaintainer(ModeBranching, false, nil),
+		sim.WithDelays(0, 1), sim.WithDmax(g.N()))
+	recs := RecordsForGraph(g, net.PortMap(), nil)
+	for u := 0; u < g.N(); u++ {
+		net.Protocol(core.NodeID(u)).(Maintainer).Preload(recs)
+	}
+	// Node 5 reports load 77 on its first link.
+	reporter := net.Protocol(5).(Maintainer)
+	firstLink := net.PortMap().Ports(5)[0]
+	reporter.SetLoad(firstLink.Local, 77)
+
+	net.Inject(0, 5, Trigger{})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		db := net.Protocol(core.NodeID(u)).(Maintainer).DB()
+		rec, ok := db.Record(5)
+		if !ok {
+			t.Fatalf("node %d has no record of node 5", u)
+		}
+		found := false
+		for _, l := range rec.Links {
+			if l.Local == firstLink.Local {
+				found = true
+				if l.Load != 77 {
+					t.Fatalf("node %d sees load %d, want 77", u, l.Load)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("node %d's record of node 5 misses link %d", u, firstLink.Local)
+		}
+	}
+}
+
+// TestLoadUpdateOverridesOld: a newer broadcast replaces the load value.
+func TestLoadUpdateOverridesOld(t *testing.T) {
+	g := graph.Ring(6)
+	net := sim.New(g, NewMaintainer(ModeFlood, false, nil),
+		sim.WithDelays(0, 1), sim.WithDmax(g.N()))
+	reporter := net.Protocol(0).(Maintainer)
+	link := net.PortMap().Ports(0)[0]
+
+	reporter.SetLoad(link.Local, 10)
+	net.Inject(0, 0, Trigger{})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reporter.SetLoad(link.Local, 20)
+	net.Inject(net.Now(), 0, Trigger{})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	db := net.Protocol(3).(Maintainer).DB()
+	rec, ok := db.Record(0)
+	if !ok {
+		t.Fatal("node 3 has no record of node 0")
+	}
+	for _, l := range rec.Links {
+		if l.Local == link.Local && l.Load != 20 {
+			t.Fatalf("load = %d, want the newer 20", l.Load)
+		}
+	}
+}

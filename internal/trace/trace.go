@@ -1,0 +1,86 @@
+// Package trace records structured execution events emitted by the fastnet
+// runtimes. Traces feed the experiment harness and the causal-message
+// analysis of the paper's appendix (internal/causal).
+package trace
+
+import (
+	"sync"
+
+	"fastnet/internal/graph"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds. Send is recorded once per routed packet (a multicast of k
+// routes records k sends sharing one activation).
+const (
+	KindSend Kind = iota + 1
+	KindDeliver
+	KindInject
+	KindDrop
+	KindLinkEvent
+)
+
+// Event is one runtime occurrence. Act identifies the NCU activation in
+// which the event happened: for KindDeliver/KindInject/KindLinkEvent it is
+// the activation performing the receive; for KindSend it is the activation
+// that issued the send (0 when sent from outside any activation). Msg is a
+// run-unique message ID linking each send to its deliveries; copies of one
+// packet share the Msg of their send.
+type Event struct {
+	Kind Kind
+	Time int64
+	Node graph.NodeID
+	Act  int64
+	Msg  int64
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use by
+// the goroutine runtime.
+type Sink interface {
+	Record(Event)
+}
+
+// Buffer is an in-memory Sink.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Record appends e.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, e)
+}
+
+// Events returns a snapshot of the recorded events in record order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Reset discards all recorded events.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = b.events[:0]
+}
+
+// Discard is a Sink that drops everything; used when tracing is off.
+type Discard struct{}
+
+// Record implements Sink.
+func (Discard) Record(Event) {}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufferRecordAndSnapshot(t *testing.T) {
+	b := NewBuffer()
+	b.Record(Event{Kind: KindSend, Node: 1, Msg: 7})
+	b.Record(Event{Kind: KindDeliver, Node: 2, Msg: 7})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	evs := b.Events()
+	if evs[0].Kind != KindSend || evs[1].Kind != KindDeliver {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Snapshot must be independent.
+	evs[0].Node = 99
+	if b.Events()[0].Node != 1 {
+		t.Fatal("Events must return a copy")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestBufferConcurrent(t *testing.T) {
+	b := NewBuffer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Record(Event{Kind: KindSend})
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", b.Len())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	var d Discard
+	d.Record(Event{Kind: KindDrop}) // must not panic
+}

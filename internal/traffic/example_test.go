@@ -1,0 +1,29 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"fastnet/internal/graph"
+	"fastnet/internal/traffic"
+)
+
+// Push 100 packets across a 7-hop path both ways: hardware forwarding
+// leaves the relay processors untouched.
+func ExampleRun() {
+	g := graph.Path(8)
+	flows := []traffic.Flow{{Src: 0, Dst: 7, Packets: 100}}
+
+	hw, err := traffic.Run(g, flows, traffic.Hardware, 1, 5)
+	if err != nil {
+		panic(err)
+	}
+	sf, err := traffic.Run(g, flows, traffic.StoreAndForward, 1, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hardware:          %d transit system calls\n", hw.TransitSyscalls)
+	fmt.Printf("store-and-forward: %d transit system calls\n", sf.TransitSyscalls)
+	// Output:
+	// hardware:          0 transit system calls
+	// store-and-forward: 600 transit system calls
+}

@@ -1,0 +1,211 @@
+// Package traffic quantifies the paper's introductory premise: user-to-user
+// traffic "does not require complex processing in the intermediate nodes and
+// consequently travels only through the switching hardware", while a
+// traditional store-and-forward network pays a software activation at every
+// hop. The package pumps the same flows through both forwarding disciplines
+// and reports the system-call and time gap.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// Discipline selects how packets are forwarded.
+type Discipline int
+
+// Forwarding disciplines.
+const (
+	// Hardware rides a full ANR source route: intermediate nodes cost no
+	// software at all; only the destination NCU is activated.
+	Hardware Discipline = iota + 1
+	// StoreAndForward is the ARPANET way: every hop delivers the packet to
+	// the local NCU, which re-sends it one hop further.
+	StoreAndForward
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case Hardware:
+		return "hardware-ANR"
+	case StoreAndForward:
+		return "store-and-forward"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// Flow is one unidirectional stream of packets.
+type Flow struct {
+	Src, Dst core.NodeID
+	Packets  int
+}
+
+// dataMsg is one user packet. For store-and-forward it carries the
+// remaining per-hop links and an index.
+type dataMsg struct {
+	Flow  int
+	Links []anr.ID // per-hop local links, hop i is consumed by node i
+	Idx   int      // next hop to take (store-and-forward only)
+}
+
+// sendCmd is injected at a flow's source: emit the flow's packets (one
+// activation emits all of them back to back — the adapter's job; the
+// interesting costs are downstream).
+type sendCmd struct {
+	Flow       int
+	Discipline Discipline
+	Links      []anr.ID
+	Packets    int
+}
+
+// node is the per-node traffic protocol.
+type node struct {
+	id       core.NodeID
+	received []int // per-flow packet counts (destination side)
+}
+
+var _ core.Protocol = (*node)(nil)
+
+func (p *node) Init(core.Env) {}
+
+func (p *node) LinkEvent(core.Env, core.Port) {}
+
+func (p *node) Deliver(env core.Env, pkt core.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *sendCmd:
+		for i := 0; i < m.Packets; i++ {
+			var err error
+			if m.Discipline == Hardware {
+				err = env.Send(anr.Direct(m.Links), &dataMsg{Flow: m.Flow})
+			} else {
+				err = env.Send(anr.Direct(m.Links[:1]), &dataMsg{Flow: m.Flow, Links: m.Links, Idx: 1})
+			}
+			if err != nil {
+				panic(fmt.Sprintf("traffic: send: %v", err))
+			}
+		}
+	case *dataMsg:
+		if m.Links == nil || m.Idx >= len(m.Links) {
+			// Destination reached.
+			p.count(m.Flow)
+			return
+		}
+		// Store-and-forward relay: one software activation per hop.
+		next := &dataMsg{Flow: m.Flow, Links: m.Links, Idx: m.Idx + 1}
+		if err := env.Send(anr.Direct(m.Links[m.Idx:m.Idx+1]), next); err != nil {
+			panic(fmt.Sprintf("traffic: relay: %v", err))
+		}
+	}
+}
+
+func (p *node) count(flow int) {
+	for len(p.received) <= flow {
+		p.received = append(p.received, 0)
+	}
+	p.received[flow]++
+}
+
+// Result reports one traffic run.
+type Result struct {
+	Discipline Discipline
+	Delivered  int
+	Metrics    core.Metrics
+	// TransitSyscalls is the number of NCU activations at nodes that are
+	// neither source nor destination of the flow whose packet they handled.
+	TransitSyscalls int64
+	// MaxUtilization is the busiest NCU's busy-time share of the run.
+	MaxUtilization float64
+	// MaxTransitUtilization is the same restricted to nodes that are not
+	// flow endpoints — the relays whose processors the paper's designs
+	// off-load.
+	MaxTransitUtilization float64
+}
+
+// Run pushes every flow's packets through the network under the given
+// discipline with delays (C, P) and returns the cost profile.
+func Run(g *graph.Graph, flows []Flow, d Discipline, c, p core.Time) (Result, error) {
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		return &node{id: id}
+	}, sim.WithDelays(c, p), sim.WithDmax(g.N()))
+	type route struct {
+		links []anr.ID
+	}
+	routes := make([]route, len(flows))
+	for i, f := range flows {
+		path := g.BFSTree(f.Src).PathFromRoot(f.Dst)
+		if path == nil {
+			return Result{}, fmt.Errorf("traffic: flow %d: no path %d->%d", i, f.Src, f.Dst)
+		}
+		links, err := net.PortMap().RouteLinks(path)
+		if err != nil {
+			return Result{}, err
+		}
+		routes[i] = route{links: links}
+		net.Inject(0, f.Src, &sendCmd{
+			Flow:       i,
+			Discipline: d,
+			Links:      links,
+			Packets:    f.Packets,
+		})
+	}
+	finish, err := net.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Discipline: d, Metrics: net.Metrics()}
+	for i, f := range flows {
+		nd, ok := net.Protocol(f.Dst).(*node)
+		if !ok {
+			return Result{}, fmt.Errorf("traffic: bad protocol at %d", f.Dst)
+		}
+		if i < len(nd.received) {
+			res.Delivered += nd.received[i]
+		}
+	}
+	// Transit system calls: everything delivered at non-endpoints.
+	endpoints := make(map[core.NodeID]bool, 2*len(flows))
+	for _, f := range flows {
+		endpoints[f.Src] = true
+		endpoints[f.Dst] = true
+	}
+	for u, n := range net.DeliveriesPerNode() {
+		if !endpoints[core.NodeID(u)] {
+			res.TransitSyscalls += n
+		}
+	}
+	if finish > 0 {
+		for u, b := range net.BusyTimePerNode() {
+			share := float64(b) / float64(finish)
+			if share > res.MaxUtilization {
+				res.MaxUtilization = share
+			}
+			if !endpoints[core.NodeID(u)] && share > res.MaxTransitUtilization {
+				res.MaxTransitUtilization = share
+			}
+		}
+	}
+	return res, nil
+}
+
+// RandomFlows generates k flows with distinct endpoints and the given
+// packet count each, deterministically per seed.
+func RandomFlows(g *graph.Graph, k, packets int, seed int64) []Flow {
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]Flow, 0, k)
+	for len(flows) < k {
+		src := core.NodeID(rng.Intn(g.N()))
+		dst := core.NodeID(rng.Intn(g.N()))
+		if src == dst {
+			continue
+		}
+		flows = append(flows, Flow{Src: src, Dst: dst, Packets: packets})
+	}
+	return flows
+}

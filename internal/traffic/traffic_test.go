@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+func TestHardwareCostsNoTransitSyscalls(t *testing.T) {
+	g := graph.Path(8)
+	flows := []Flow{{Src: 0, Dst: 7, Packets: 50}}
+	res, err := Run(g, flows, Hardware, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 50 {
+		t.Fatalf("delivered = %d, want 50", res.Delivered)
+	}
+	if res.TransitSyscalls != 0 {
+		t.Fatalf("transit syscalls = %d, want 0 (hardware only)", res.TransitSyscalls)
+	}
+	// Only the destination pays software: 50 deliveries.
+	if res.Metrics.Deliveries != 50 {
+		t.Fatalf("deliveries = %d, want 50", res.Metrics.Deliveries)
+	}
+}
+
+func TestStoreAndForwardPaysPerHop(t *testing.T) {
+	g := graph.Path(8)
+	flows := []Flow{{Src: 0, Dst: 7, Packets: 50}}
+	res, err := Run(g, flows, StoreAndForward, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 50 {
+		t.Fatalf("delivered = %d, want 50", res.Delivered)
+	}
+	// 7 hops -> 7 deliveries per packet (6 transit + destination).
+	if res.Metrics.Deliveries != 50*7 {
+		t.Fatalf("deliveries = %d, want %d", res.Metrics.Deliveries, 50*7)
+	}
+	if res.TransitSyscalls != 50*6 {
+		t.Fatalf("transit syscalls = %d, want %d", res.TransitSyscalls, 50*6)
+	}
+}
+
+func TestHardwareFasterWhenSoftwareSlow(t *testing.T) {
+	g := graph.Path(10)
+	flows := []Flow{{Src: 0, Dst: 9, Packets: 1}}
+	hw, err := Run(g, flows, Hardware, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Run(g, flows, StoreAndForward, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hardware: P (inject) + 9C + P; store-and-forward adds ~9P of relay
+	// processing.
+	if hw.Metrics.FinishTime >= sf.Metrics.FinishTime {
+		t.Fatalf("hardware %d >= store-and-forward %d", hw.Metrics.FinishTime, sf.Metrics.FinishTime)
+	}
+	if sf.Metrics.FinishTime-hw.Metrics.FinishTime < 8*20 {
+		t.Fatalf("gap = %d, want ~9P", sf.Metrics.FinishTime-hw.Metrics.FinishTime)
+	}
+}
+
+func TestUtilizationCollapsesWithHardware(t *testing.T) {
+	// Many flows crossing a path's middle: with store-and-forward the
+	// middle NCUs saturate; with hardware they idle.
+	g := graph.Path(9)
+	flows := []Flow{
+		{Src: 0, Dst: 8, Packets: 30},
+		{Src: 8, Dst: 0, Packets: 30},
+	}
+	hw, err := Run(g, flows, Hardware, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Run(g, flows, StoreAndForward, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.MaxTransitUtilization != 0 {
+		t.Fatalf("hardware transit util = %.2f, want 0 (relays idle)", hw.MaxTransitUtilization)
+	}
+	if sf.MaxTransitUtilization < 0.5 {
+		t.Fatalf("store-and-forward transit util %.2f, expected a hot relay", sf.MaxTransitUtilization)
+	}
+}
+
+func TestRandomFlows(t *testing.T) {
+	g := graph.GNP(30, 0.15, 2)
+	flows := RandomFlows(g, 10, 5, 7)
+	if len(flows) != 10 {
+		t.Fatalf("%d flows, want 10", len(flows))
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("flow with equal endpoints")
+		}
+		if f.Packets != 5 {
+			t.Fatalf("packets = %d, want 5", f.Packets)
+		}
+	}
+	res, err := Run(g, flows, Hardware, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 50 {
+		t.Fatalf("delivered = %d, want 50", res.Delivered)
+	}
+}
+
+func TestNoPathError(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := Run(g, []Flow{{Src: 0, Dst: 2, Packets: 1}}, Hardware, 0, 1); err == nil {
+		t.Fatal("unreachable destination must error")
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if Hardware.String() != "hardware-ANR" || StoreAndForward.String() != "store-and-forward" ||
+		Discipline(9).String() != "discipline(9)" {
+		t.Fatal("Discipline.String mismatch")
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	// Direct check of the new per-node busy-time metric via a tiny run.
+	g := graph.Path(3)
+	flows := []Flow{{Src: 0, Dst: 2, Packets: 4}}
+	res, err := Run(g, flows, StoreAndForward, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 relays 4 packets at P=3: 12 units busy. The destination also
+	// works 12; finish >= 12.
+	if res.Metrics.FinishTime < 12 {
+		t.Fatalf("finish = %d, want >= 12", res.Metrics.FinishTime)
+	}
+	if res.MaxUtilization <= 0 || res.MaxUtilization > 1 {
+		t.Fatalf("utilization = %f out of range", res.MaxUtilization)
+	}
+	_ = core.NodeID(0)
+}

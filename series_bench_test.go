@@ -1,0 +1,126 @@
+// Series benchmarks: parameterized sweeps matching the paper's asymptotic
+// claims, one sub-benchmark per size so `go test -bench` prints the series
+// the way the paper's figures would.
+package fastnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/globalfn"
+	"fastnet/internal/graph"
+	"fastnet/internal/topology"
+	"fastnet/internal/traffic"
+)
+
+// BenchmarkSeriesBroadcast sweeps the §3 broadcast over n: deliveries are
+// exactly n-1 and rounds stay logarithmic.
+func BenchmarkSeriesBroadcast(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		g := graph.RandomTree(n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := topology.SingleBroadcast(g, 0, topology.ModeBranching)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metrics.Deliveries != int64(n-1) {
+					b.Fatal("wrong delivery count")
+				}
+				b.ReportMetric(float64(res.Metrics.FinishTime), "rounds+1")
+			}
+		})
+	}
+}
+
+// BenchmarkSeriesFlooding sweeps the baseline for contrast.
+func BenchmarkSeriesFlooding(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.GNP(n, 4.0/float64(n), int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := topology.SingleBroadcast(g, 0, topology.ModeFlood)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Metrics.Deliveries), "syscalls")
+			}
+		})
+	}
+}
+
+// BenchmarkSeriesElection sweeps the §4 election: tour system calls stay
+// under 6n at every size.
+func BenchmarkSeriesElection(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.GNP(n, 4.0/float64(n), int64(n))
+		starters := make([]core.NodeID, n)
+		for i := range starters {
+			starters[i] = core.NodeID(i)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := election.Run(g, election.AlgoToken, starters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.AlgorithmMessages > int64(6*n) {
+					b.Fatal("6n bound violated")
+				}
+				b.ReportMetric(float64(res.AlgorithmMessages)/float64(n), "calls/n")
+			}
+		})
+	}
+}
+
+// BenchmarkSeriesGather sweeps the §5 tree-based gather across (C, P)
+// regimes at n=1024.
+func BenchmarkSeriesGather(b *testing.B) {
+	for _, p := range []globalfn.Params{{C: 0, P: 1}, {C: 1, P: 1}, {C: 4, P: 1}, {C: 1, P: 4}} {
+		tstar, err := p.OptimalTime(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := p.OptimalTree(tstar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := make([]globalfn.Value, tr.Size)
+		b.Run(fmt.Sprintf("C=%d,P=%d", p.C, p.P), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := globalfn.Execute(tr, p, inputs, globalfn.Sum, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if globalfn.Time(res.Finish) != tstar {
+					b.Fatal("finish mismatch")
+				}
+				b.ReportMetric(float64(res.Finish), "t*")
+			}
+		})
+	}
+}
+
+// BenchmarkSeriesTraffic sweeps the data-plane disciplines.
+func BenchmarkSeriesTraffic(b *testing.B) {
+	g := graph.Grid(8, 8)
+	flows := traffic.RandomFlows(g, 16, 50, 11)
+	for _, d := range []traffic.Discipline{traffic.Hardware, traffic.StoreAndForward} {
+		b.Run(d.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := traffic.Run(g, flows, d, 1, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TransitSyscalls), "transit-syscalls")
+			}
+		})
+	}
+}
