@@ -6,6 +6,7 @@
 //	fastnet list                     list all experiments
 //	fastnet exp [-csv] <id>...       run experiments (IDs or 'all')
 //	fastnet sim [flags]              run one scenario (see 'fastnet sim -h')
+//	fastnet soak [flags]             run the invariant-checked churn soak
 package main
 
 import (
@@ -13,10 +14,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fastnet/internal/core"
 	"fastnet/internal/election"
 	"fastnet/internal/experiments"
+	"fastnet/internal/faults"
 	"fastnet/internal/globalfn"
 	"fastnet/internal/graph"
 	"fastnet/internal/pif"
@@ -46,6 +49,8 @@ func run(args []string) error {
 		return runExp(args[1:])
 	case "sim":
 		return runSim(args[1:])
+	case "soak":
+		return runSoak(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -194,6 +199,87 @@ func runSim(args []string) error {
 	}
 }
 
+// runSoak drives the seeded fault-injection soak (internal/faults). Flag
+// names must stay in sync with faults.Config.Repro, which renders the
+// one-line reproduction command printed on an invariant violation.
+func runSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	var (
+		runtimeName = fs.String("runtime", "des", "runtime: des|gosim")
+		topoName    = fs.String("topo", "gnp", "topology: ring|path|star|grid|complete|tree|gnp|arpanet|cbt")
+		n           = fs.Int("n", 64, "number of nodes (topology-dependent)")
+		gnpP        = fs.Float64("gnp-p", 0, "edge probability for gnp (default 4/n)")
+		seed        = fs.Int64("seed", 1, "seed for schedules, calls and elections")
+		epochs      = fs.Int("epochs", 50, "churn epochs to run")
+		modeName    = fs.String("mode", "branching-paths", "maintenance protocol: branching-paths|flooding")
+		flaps       = fs.Int("flaps", 2, "link flaps per epoch")
+		flapLen     = fs.Int("flaplen", 1, "steps a flapped link stays down")
+		partEvery   = fs.Int("partition-every", 5, "epochs between correlated cuts (0 = off)")
+		partHeal    = fs.Int("partition-heal", 1, "epochs until a cut heals")
+		crashes     = fs.Int("crashes", 1, "node crashes per epoch")
+		downtime    = fs.Int("downtime", 1, "epochs a crashed node stays down")
+		callCount   = fs.Int("calls", 2, "calls set up and failure-checked per epoch")
+		leaderCrash = fs.Float64("leader-crash", 0.25, "per-epoch probability of crashing the leader")
+		adversary   = fs.Bool("adversary", false, "fail the link the last delivery was observed on")
+		noElection  = fs.Bool("no-election", false, "skip the per-epoch re-election invariant")
+		maxRounds   = fs.Int("max-rounds", 0, "convergence-round cap (default n+8)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-quiescence bound (gosim runtime)")
+		verbose     = fs.Bool("v", false, "print one line per epoch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var mode topology.Mode
+	switch *modeName {
+	case "branching-paths", "branching", "broadcast":
+		mode = topology.ModeBranching
+	case "flooding", "flood":
+		mode = topology.ModeFlood
+	default:
+		return fmt.Errorf("unknown mode %q (want branching-paths or flooding)", *modeName)
+	}
+	g, err := buildTopo(*topoName, *n, *gnpP, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := faults.Config{
+		Seed:           *seed,
+		Epochs:         *epochs,
+		Runtime:        *runtimeName,
+		Mode:           mode,
+		Flaps:          *flaps,
+		FlapLen:        *flapLen,
+		PartitionEvery: *partEvery,
+		PartitionHeal:  *partHeal,
+		Crashes:        *crashes,
+		Downtime:       *downtime,
+		Adversary:      *adversary,
+		LeaderCrash:    *leaderCrash,
+		Calls:          *callCount,
+		NoElection:     *noElection,
+		MaxRounds:      *maxRounds,
+		Timeout:        *timeout,
+	}
+	if *verbose {
+		cfg.Verbose = os.Stdout
+	}
+	fmt.Printf("soak %s on %s: n=%d m=%d seed=%d epochs=%d mode=%s\n",
+		cfg.Runtime, *topoName, g.N(), g.M(), cfg.Seed, cfg.Epochs, mode)
+	res, err := faults.Soak(g, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Line())
+	if !res.OK() {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "violation:", v)
+		}
+		fmt.Fprintln(os.Stderr, "repro:", cfg.Repro(*topoName, *n))
+		return fmt.Errorf("%d invariant violation(s) after %d clean epochs", len(res.Violations), res.Epochs)
+	}
+	return nil
+}
+
 func buildTopo(name string, n int, gnpP float64, seed int64) (*graph.Graph, error) {
 	switch name {
 	case "ring":
@@ -234,5 +320,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   fastnet list                 list all experiments
   fastnet exp [-csv] <id>...   run experiments by ID ('all' for everything)
-  fastnet sim [flags]          run one ad-hoc scenario (see 'fastnet sim -h')`)
+  fastnet sim [flags]          run one ad-hoc scenario (see 'fastnet sim -h')
+  fastnet soak [flags]         run the invariant-checked churn soak (see 'fastnet soak -h')`)
 }

@@ -22,6 +22,10 @@ func TestRunErrors(t *testing.T) {
 		{"exp", "E99"},
 		{"sim", "-topo", "nosuch"},
 		{"sim", "-proto", "nosuch"},
+		{"soak", "-topo", "nosuch"},
+		{"soak", "-mode", "nosuch"},
+		{"soak", "-runtime", "nosuch", "-n", "8", "-epochs", "1"},
+		{"soak", "-epochs", "0"},
 	} {
 		if err := run(args); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
@@ -51,6 +55,19 @@ func TestRunSimScenarios(t *testing.T) {
 		{"sim", "-topo", "arpanet", "-proto", "broadcast"},
 		{"sim", "-proto", "gsf", "-n", "30", "-c", "1", "-p", "2"},
 		{"sim", "-topo", "gnp", "-n", "24", "-proto", "election", "-random-delays", "-c", "3", "-p", "4"},
+	}
+	for _, args := range scenarios {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunSoakScenarios(t *testing.T) {
+	scenarios := [][]string{
+		{"soak", "-topo", "gnp", "-n", "16", "-seed", "2", "-epochs", "3", "-flaps", "1", "-crashes", "1", "-calls", "1"},
+		{"soak", "-topo", "ring", "-n", "12", "-seed", "1", "-epochs", "2", "-flaps", "1", "-partition-every", "0", "-crashes", "0", "-calls", "1", "-mode", "flooding", "-no-election"},
+		{"soak", "-runtime", "gosim", "-topo", "gnp", "-n", "12", "-seed", "3", "-epochs", "2", "-flaps", "1", "-partition-every", "0", "-crashes", "1", "-calls", "1", "-v"},
 	}
 	for _, args := range scenarios {
 		if err := run(args); err != nil {

@@ -42,6 +42,11 @@ var ErrNoLeader = errors.New("election: run did not elect exactly one leader")
 type Result struct {
 	Leader  core.NodeID
 	Metrics core.Metrics
+	// LeaderDomain is the size of the winner's captured domain — for the
+	// §4 token algorithm the number of nodes in its `in` set, which must
+	// equal the graph size when the run validates; other algorithms report
+	// the graph size directly.
+	LeaderDomain int
 	// AlgorithmMessages is Theorem 5's measure: system calls spent on
 	// candidate tours (announcements and the injected STARTs excluded).
 	AlgorithmMessages int64
@@ -66,6 +71,16 @@ func factory(a Algorithm, stats *Stats) core.Factory {
 			panic(fmt.Sprintf("election: unknown algorithm %d", int(a)))
 		}
 	}
+}
+
+// domainOf reports the winner's domain size (token algorithm: |in|; the
+// other algorithms capture implicitly, so the validated graph size stands
+// in).
+func domainOf(p core.Protocol, n int) int {
+	if pr, ok := p.(*Protocol); ok {
+		return pr.Level().Size
+	}
+	return n
 }
 
 // stateOf extracts the outcome from any of the three protocols.
@@ -102,6 +117,7 @@ func Run(g *graph.Graph, algo Algorithm, starters []core.NodeID, opts ...sim.Opt
 	return Result{
 		Leader:            leader,
 		Metrics:           net.Metrics(),
+		LeaderDomain:      domainOf(net.Protocol(leader), g.N()),
 		AlgorithmMessages: stats.AlgorithmMessages(),
 		Stats:             stats,
 	}, nil
@@ -125,6 +141,7 @@ func RunAsync(g *graph.Graph, algo Algorithm, starters []core.NodeID, seed int64
 	return Result{
 		Leader:            leader,
 		Metrics:           net.Metrics(),
+		LeaderDomain:      domainOf(net.Protocol(leader), g.N()),
 		AlgorithmMessages: stats.AlgorithmMessages(),
 		Stats:             stats,
 	}, nil

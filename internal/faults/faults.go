@@ -1,0 +1,248 @@
+// Package faults is the chaos engine for the fastnet runtimes: seeded,
+// deterministic fault-schedule generators (link flaps, correlated edge-set
+// partitions, node crash/restore churn, and a trace-driven adversary), a
+// ground-truth State tracker, and an invariant-checked soak driver that
+// alternates churn epochs with quiescence on either runtime.
+//
+// The paper's correctness story is explicitly fault-driven: Theorem 1 is
+// eventual consistency after changes stop, §3's six-node example shows a
+// naive protocol deadlocking under link failures, and §4's election must
+// survive origin crashes. This package turns those hand-scripted scenarios
+// into a reusable subsystem: generators compile to either runtime through
+// the small Injector surface, and the soak driver checks the protocols'
+// invariants after every churn epoch.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// Kind enumerates fault events.
+type Kind int
+
+// Fault kinds. Link kinds address edge {U, V}; node kinds address node U.
+const (
+	LinkDown Kind = iota + 1
+	LinkUp
+	Crash
+	Restore
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case Crash:
+		return "crash"
+	case Restore:
+		return "restore"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault: at Step (a quiescence-separated instant
+// within its epoch) apply Kind to edge {U, V} (link kinds) or node U (node
+// kinds).
+type Event struct {
+	Step int
+	Kind Kind
+	U, V core.NodeID
+}
+
+// String renders the event for repro logs.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case Crash, Restore:
+		return fmt.Sprintf("@%d %s %d", ev.Step, ev.Kind, ev.U)
+	default:
+		return fmt.Sprintf("@%d %s %d-%d", ev.Step, ev.Kind, ev.U, ev.V)
+	}
+}
+
+// sortEvents orders events by (Step, Kind, U, V) so schedules apply
+// deterministically regardless of generator composition order within a step.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Step != evs[j].Step {
+			return evs[i].Step < evs[j].Step
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		if evs[i].U != evs[j].U {
+			return evs[i].U < evs[j].U
+		}
+		return evs[i].V < evs[j].V
+	})
+}
+
+// Injector is the fault-application surface a runtime exposes to the chaos
+// engine. Both *sim.Network and *gosim.Network implement it (the
+// discrete-event runtime applies the change at its current virtual time).
+type Injector interface {
+	// Graph returns the underlying topology.
+	Graph() *graph.Graph
+	// LinkUp reports the current hardware state of edge {u, v}.
+	LinkUp(u, v core.NodeID) bool
+	// InjectLink flips the hardware state of edge {u, v}; both endpoint
+	// NCUs receive the data-link notification.
+	InjectLink(u, v core.NodeID, up bool)
+}
+
+// Flip is one concrete link state change derived from an Event by the State
+// tracker (node events expand into their incident links).
+type Flip struct {
+	U, V core.NodeID
+	Up   bool
+}
+
+// State is the chaos engine's ground truth: which edges are down, which
+// nodes are crashed, and which edges went down at any point during the
+// current epoch. A link is down while it has at least one cause — an
+// explicit link fault or a crashed endpoint — which makes overlapping
+// generators compose correctly (restoring a crashed node does not resurrect
+// an independently flapped link, and healing a flap under a crashed
+// endpoint keeps the link down).
+type State struct {
+	g       *graph.Graph
+	faulted map[graph.Edge]bool // down due to an explicit link fault
+	crashed map[core.NodeID]bool
+	touched map[graph.Edge]bool // went down at some point this epoch
+}
+
+// NewState tracks faults over g; everything starts up.
+func NewState(g *graph.Graph) *State {
+	return &State{
+		g:       g,
+		faulted: make(map[graph.Edge]bool),
+		crashed: make(map[core.NodeID]bool),
+		touched: make(map[graph.Edge]bool),
+	}
+}
+
+// EdgeDown reports whether edge {u, v} is currently down.
+func (st *State) EdgeDown(u, v core.NodeID) bool {
+	return st.faulted[graph.Edge{U: u, V: v}.Canon()] || st.crashed[u] || st.crashed[v]
+}
+
+// Crashed reports whether v is currently crashed.
+func (st *State) Crashed(v core.NodeID) bool { return st.crashed[v] }
+
+// Down returns the current down-edge set in canonical form.
+func (st *State) Down() map[graph.Edge]bool {
+	down := make(map[graph.Edge]bool)
+	for _, e := range st.g.Edges() {
+		if st.EdgeDown(e.U, e.V) {
+			down[e.Canon()] = true
+		}
+	}
+	return down
+}
+
+// DownEdges returns the currently down edges, sorted canonically.
+func (st *State) DownEdges() []graph.Edge {
+	var out []graph.Edge
+	for _, e := range st.g.Edges() {
+		if st.EdgeDown(e.U, e.V) {
+			out = append(out, e.Canon())
+		}
+	}
+	return out
+}
+
+// UpEdges returns the currently up edges, sorted canonically.
+func (st *State) UpEdges() []graph.Edge {
+	var out []graph.Edge
+	for _, e := range st.g.Edges() {
+		if !st.EdgeDown(e.U, e.V) {
+			out = append(out, e.Canon())
+		}
+	}
+	return out
+}
+
+// Live materializes the current live topology (down edges removed; crashed
+// nodes appear as isolated vertices, the model's inactive-node reading).
+func (st *State) Live() *graph.Graph {
+	live := st.g.Clone()
+	for _, e := range st.g.Edges() {
+		if st.EdgeDown(e.U, e.V) {
+			live.RemoveEdge(e.U, e.V)
+		}
+	}
+	return live
+}
+
+// BeginEpoch clears the epoch-local touched set.
+func (st *State) BeginEpoch() {
+	st.touched = make(map[graph.Edge]bool)
+}
+
+// Touched reports whether edge {u, v} went down at any point during the
+// current epoch (even if it has healed since).
+func (st *State) Touched(u, v core.NodeID) bool {
+	return st.touched[graph.Edge{U: u, V: v}.Canon()]
+}
+
+// Apply advances the ground truth by one event and returns the concrete
+// link flips a runtime must perform (empty when the event is a no-op, e.g.
+// downing an already-down link). Node events expand into their incident
+// links in sorted-neighbor order.
+func (st *State) Apply(ev Event) []Flip {
+	var flips []Flip
+	switch ev.Kind {
+	case LinkDown:
+		e := graph.Edge{U: ev.U, V: ev.V}.Canon()
+		if !st.g.HasEdge(e.U, e.V) || st.faulted[e] {
+			return nil
+		}
+		wasUp := !st.EdgeDown(e.U, e.V)
+		st.faulted[e] = true
+		st.touched[e] = true
+		if wasUp {
+			flips = append(flips, Flip{U: e.U, V: e.V, Up: false})
+		}
+	case LinkUp:
+		e := graph.Edge{U: ev.U, V: ev.V}.Canon()
+		if !st.faulted[e] {
+			return nil
+		}
+		delete(st.faulted, e)
+		if !st.EdgeDown(e.U, e.V) {
+			flips = append(flips, Flip{U: e.U, V: e.V, Up: true})
+		}
+	case Crash:
+		if st.crashed[ev.U] {
+			return nil
+		}
+		for _, nb := range st.g.Neighbors(ev.U) {
+			if !st.EdgeDown(ev.U, nb) {
+				e := graph.Edge{U: ev.U, V: nb}.Canon()
+				st.touched[e] = true
+				flips = append(flips, Flip{U: e.U, V: e.V, Up: false})
+			}
+		}
+		st.crashed[ev.U] = true
+	case Restore:
+		if !st.crashed[ev.U] {
+			return nil
+		}
+		st.crashed[ev.U] = false
+		delete(st.crashed, ev.U)
+		for _, nb := range st.g.Neighbors(ev.U) {
+			if !st.EdgeDown(ev.U, nb) {
+				e := graph.Edge{U: ev.U, V: nb}.Canon()
+				flips = append(flips, Flip{U: e.U, V: e.V, Up: true})
+			}
+		}
+	}
+	return flips
+}

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/sim"
+)
+
+// Both runtimes satisfy the chaos engine's injection surface.
+var (
+	_ Injector = (*sim.Network)(nil)
+	_ Injector = (*gosim.Network)(nil)
+)
+
+// Harness is the runtime surface the soak driver needs beyond fault
+// injection: start activations, drain to quiescence, and inspect the
+// result. NewSimHarness and NewGosimHarness adapt the two runtimes.
+type Harness interface {
+	Injector
+	// Inject schedules an external activation at v ("now" on the
+	// discrete-event runtime).
+	Inject(v core.NodeID, payload any)
+	// Quiesce blocks until the network has no work left.
+	Quiesce() error
+	// Protocol returns v's protocol instance for inspection.
+	Protocol(v core.NodeID) core.Protocol
+	// PortMap exposes the ANR port numbering.
+	PortMap() *core.PortMap
+	// Metrics snapshots the system-call accounting.
+	Metrics() core.Metrics
+	// Close releases runtime resources (goroutines on gosim; no-op on sim).
+	Close()
+}
+
+type simHarness struct {
+	*sim.Network
+}
+
+// NewSimHarness adapts a discrete-event network. Quiesce runs the event
+// loop until the heap drains; virtual time carries across calls.
+func NewSimHarness(net *sim.Network) Harness { return simHarness{net} }
+
+func (h simHarness) Inject(v core.NodeID, payload any) {
+	h.Network.Inject(h.Network.Now(), v, payload)
+}
+
+func (h simHarness) Quiesce() error {
+	_, err := h.Network.Run()
+	return err
+}
+
+func (h simHarness) Close() {}
+
+type gosimHarness struct {
+	*gosim.Network
+	timeout time.Duration
+}
+
+// NewGosimHarness adapts a goroutine network; timeout bounds each Quiesce.
+func NewGosimHarness(net *gosim.Network, timeout time.Duration) Harness {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return gosimHarness{net, timeout}
+}
+
+func (h gosimHarness) Quiesce() error { return h.Network.AwaitQuiescence(h.timeout) }
+
+func (h gosimHarness) Close() { h.Network.Shutdown() }

@@ -1,0 +1,697 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/calls"
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+	"fastnet/internal/topology"
+)
+
+// Config parameterizes a soak run. The zero value is not useful; set at
+// least Epochs and one fault source. Every random decision — schedules,
+// call placement, election starters — derives from Seed, so a run is
+// reproducible bit for bit on the discrete-event runtime.
+type Config struct {
+	Seed    int64
+	Epochs  int
+	Runtime string        // "des" (default) or "gosim"
+	Mode    topology.Mode // topology maintenance protocol (default branching)
+
+	Flaps          int // link flaps per epoch
+	FlapLen        int // steps a flapped link stays down (default 1)
+	PartitionEvery int // epochs between correlated cut faults (0 = off)
+	PartitionHeal  int // epochs until a cut heals (default 1)
+	Crashes        int // node crashes per epoch
+	Downtime       int // epochs a crashed node stays down (default 1)
+	Adversary      bool
+	LeaderCrash    float64 // per-epoch probability of crashing the leader
+
+	Calls      int  // calls set up (and failure-checked) per epoch
+	NoElection bool // skip the per-epoch re-election invariant
+
+	MaxRounds int           // convergence-round cap (default n+8)
+	Timeout   time.Duration // per-quiescence bound, goroutine runtime only
+	Verbose   io.Writer     // optional per-epoch progress lines
+}
+
+// Repro renders the fastnet soak invocation that reproduces this config on
+// topology topo/n; the soak driver prints it when an invariant fails.
+func (cfg Config) Repro(topo string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fastnet soak -runtime %s -topo %s -n %d -seed %d -epochs %d -mode %s",
+		cfg.runtime(), topo, n, cfg.Seed, cfg.Epochs, cfg.Mode)
+	fmt.Fprintf(&b, " -flaps %d -flaplen %d -partition-every %d -partition-heal %d -crashes %d -downtime %d -calls %d -leader-crash %g",
+		cfg.Flaps, max(1, cfg.FlapLen), cfg.PartitionEvery, max(1, cfg.PartitionHeal),
+		cfg.Crashes, max(1, cfg.Downtime), cfg.Calls, cfg.LeaderCrash)
+	if cfg.MaxRounds > 0 {
+		fmt.Fprintf(&b, " -max-rounds %d", cfg.MaxRounds)
+	}
+	if cfg.Adversary {
+		b.WriteString(" -adversary")
+	}
+	if cfg.NoElection {
+		b.WriteString(" -no-election")
+	}
+	return b.String()
+}
+
+func (cfg Config) runtime() string {
+	if cfg.Runtime == "" {
+		return "des"
+	}
+	return cfg.Runtime
+}
+
+// Result aggregates a soak run. All counters are deterministic functions of
+// (graph, Config) on the discrete-event runtime, so Line is byte-identical
+// across reruns of the same seed.
+type Result struct {
+	Epochs      int // churn epochs completed with all invariants held
+	Violations  []string
+	Metrics     core.Metrics // the soak network (elections run separately)
+	FaultFlips  int          // concrete link flips applied
+	ConvRounds  int          // broadcast rounds spent re-converging (sum)
+	ConvMax     int          // worst single-epoch round count
+	Elections   int
+	ReelectTime core.Time // re-election latency, summed (DES virtual time)
+	ReelectMax  core.Time
+	ReelectMsgs int64 // algorithm messages across all elections
+	CallsSetUp  int
+	CallsFailed int // calls torn down by injected failures
+	CallsTorn   int // surviving calls torn down explicitly
+	ProbesSent  int
+	ProbesDown  int // probes over down links (must all be blocked)
+}
+
+// OK reports whether every epoch held every invariant.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Line renders the run on one line (the byte-identical repro check target).
+func (r *Result) Line() string {
+	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d) | %s",
+		r.Epochs, len(r.Violations), r.FaultFlips, r.ConvRounds, r.ConvMax,
+		r.Elections, r.ReelectTime, r.ReelectMax, r.ReelectMsgs,
+		r.CallsSetUp, r.CallsFailed, r.CallsTorn, r.ProbesSent, r.ProbesDown,
+		r.Metrics)
+}
+
+// probeCmd is injected at one endpoint of an edge: send a probeEcho across
+// exactly the given local link. Whether the echo arrives tells the soak
+// driver whether the hardware honors the link's state.
+type probeCmd struct {
+	Link anr.ID
+	ID   int64
+}
+
+// probeEcho is the probe's one-hop payload.
+type probeEcho struct {
+	ID int64
+}
+
+// probeBook records which probes echoed; shared by all nodes of a run.
+type probeBook struct {
+	mu   sync.Mutex
+	echo map[int64]bool
+}
+
+func (b *probeBook) hit(id int64) {
+	b.mu.Lock()
+	b.echo[id] = true
+	b.mu.Unlock()
+}
+
+func (b *probeBook) sawEcho(id int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.echo[id]
+}
+
+// soakNode multiplexes one NCU between the topology maintainer and the call
+// manager (both ignore each other's payload types) and answers link probes.
+type soakNode struct {
+	topo topology.Maintainer
+	mgr  *calls.Manager
+	book *probeBook
+}
+
+func (s *soakNode) Init(env core.Env) {
+	s.topo.Init(env)
+	s.mgr.Init(env)
+}
+
+func (s *soakNode) Deliver(env core.Env, pkt core.Packet) {
+	switch p := pkt.Payload.(type) {
+	case probeCmd:
+		_ = env.Send(anr.Direct([]anr.ID{p.Link}), probeEcho{ID: p.ID})
+	case probeEcho:
+		s.book.hit(p.ID)
+	default:
+		s.topo.Deliver(env, pkt)
+		s.mgr.Deliver(env, pkt)
+	}
+}
+
+func (s *soakNode) LinkEvent(env core.Env, port core.Port) {
+	s.topo.LinkEvent(env, port)
+	s.mgr.LinkEvent(env, port)
+}
+
+// callInfo remembers one call set up during the current epoch.
+type callInfo struct {
+	id     calls.CallID
+	caller core.NodeID
+	path   []core.NodeID
+}
+
+// soakRun is the per-run state of the driver.
+type soakRun struct {
+	cfg  Config
+	g    *graph.Graph
+	h    Harness
+	st   *State
+	rng  *rand.Rand
+	gens []Generator
+	wit  *Witness
+	book *probeBook
+	res  *Result
+
+	pend    map[int][]Event // soak-scheduled events (leader crashes)
+	callSeq calls.CallID
+	probeID int64
+}
+
+// Soak runs the invariant-checked churn loop on g and reports the result.
+// A non-nil error means the run itself broke (runtime error, event-budget
+// exhaustion); invariant violations are reported in Result.Violations.
+func Soak(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("faults: Epochs must be positive")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = topology.ModeBranching
+	}
+	r := &soakRun{
+		cfg:  cfg,
+		g:    g,
+		st:   NewState(g),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		book: &probeBook{echo: make(map[int64]bool)},
+		res:  &Result{},
+		pend: make(map[int][]Event),
+	}
+	if cfg.Adversary {
+		r.wit = &Witness{}
+	}
+	if cfg.Flaps > 0 {
+		r.gens = append(r.gens, Flaps{PerEpoch: cfg.Flaps, Len: max(1, cfg.FlapLen), Steps: 2})
+	}
+	if cfg.PartitionEvery > 0 {
+		r.gens = append(r.gens, &Partitions{Every: cfg.PartitionEvery, Heal: max(1, cfg.PartitionHeal)})
+	}
+	if cfg.Crashes > 0 {
+		r.gens = append(r.gens, &Churn{PerEpoch: cfg.Crashes, Downtime: max(1, cfg.Downtime)})
+	}
+	if cfg.Adversary {
+		r.gens = append(r.gens, &Adversary{Witness: r.wit})
+	}
+
+	// View-routed modes run the full-knowledge variant: the incremental one
+	// is not self-stabilizing under compound churn (a healed link's down-era
+	// records survive at third parties, whose views then exclude the edge,
+	// so no broadcast ever crosses it to replace them — only the origin
+	// transmits its record, and its own routes froze at heal time). Flooding
+	// relays on live ports, not views, so it self-heals incrementally.
+	topoFac := topology.NewMaintainer(cfg.Mode, cfg.Mode != topology.ModeFlood, nil)
+	factory := func(id core.NodeID) core.Protocol {
+		return &soakNode{
+			topo: topoFac(id).(topology.Maintainer),
+			mgr:  calls.New(id),
+			book: r.book,
+		}
+	}
+	dmax := topology.DefaultDmax(cfg.Mode, g.N())
+	switch cfg.runtime() {
+	case "des":
+		opts := []sim.Option{
+			sim.WithDelays(0, 1), sim.WithSeed(cfg.Seed), sim.WithDmax(dmax),
+			sim.WithEventBudget(500_000_000),
+		}
+		if r.wit != nil {
+			opts = append(opts, sim.WithTrace(r.wit))
+		}
+		r.h = NewSimHarness(sim.New(g, factory, opts...))
+	case "gosim":
+		opts := []gosim.Option{gosim.WithSeed(cfg.Seed), gosim.WithDmax(dmax)}
+		if r.wit != nil {
+			opts = append(opts, gosim.WithTrace(r.wit))
+		}
+		r.h = NewGosimHarness(gosim.New(g, factory, opts...), cfg.Timeout)
+	default:
+		return nil, fmt.Errorf("faults: unknown runtime %q", cfg.Runtime)
+	}
+	defer r.h.Close()
+	return r.res, r.run()
+}
+
+func (r *soakRun) node(u core.NodeID) *soakNode { return r.h.Protocol(u).(*soakNode) }
+
+func (r *soakRun) maxRounds() int {
+	if r.cfg.MaxRounds > 0 {
+		return r.cfg.MaxRounds
+	}
+	return r.g.N() + 8
+}
+
+func (r *soakRun) violate(epoch, inv int, format string, a ...any) {
+	msg := fmt.Sprintf(format, a...)
+	r.res.Violations = append(r.res.Violations,
+		fmt.Sprintf("epoch %d: invariant I%d violated: %s", epoch, inv, msg))
+}
+
+// converged checks invariant I1: within every live component of 2+ nodes,
+// every database matches the ground-truth topology (Theorem 1). On failure
+// it names one witness: a node and the component member it is stale about.
+func (r *soakRun) converged() (string, bool) {
+	live := r.st.Live()
+	down := r.st.Down()
+	for _, comp := range live.Components() {
+		if len(comp) == 1 {
+			continue
+		}
+		for _, u := range comp {
+			db := r.node(u).topo.DB()
+			for _, w := range comp {
+				if !db.KnowsNodes([]core.NodeID{w}, r.g, down) {
+					rec, ok := db.Record(w)
+					return fmt.Sprintf("node %d is stale about %d (record %v, have=%v; truth degree %d, down %v)",
+						u, w, rec, ok, r.g.Degree(w), r.st.DownEdges()), false
+				}
+			}
+		}
+	}
+	return "", true
+}
+
+// convergeRounds triggers full broadcast rounds until the databases match
+// the ground truth, and reports the rounds spent (-1: cap exceeded, with
+// the last witness of staleness).
+func (r *soakRun) convergeRounds() (int, string, error) {
+	witness := ""
+	for round := 1; round <= r.maxRounds(); round++ {
+		for u := 0; u < r.g.N(); u++ {
+			r.h.Inject(core.NodeID(u), topology.Trigger{})
+		}
+		if err := r.h.Quiesce(); err != nil {
+			return 0, "", err
+		}
+		var ok bool
+		if witness, ok = r.converged(); ok {
+			return round, "", nil
+		}
+	}
+	return -1, witness, nil
+}
+
+func (r *soakRun) run() error {
+	// Cold start: converge on the pristine topology before any churn.
+	if rounds, witness, err := r.convergeRounds(); err != nil {
+		return err
+	} else if rounds < 0 {
+		r.violate(-1, 1, "no convergence on the pristine topology within %d rounds: %s", r.maxRounds(), witness)
+		return nil
+	}
+	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
+		ok, err := r.epoch(epoch)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		r.res.Epochs++
+		if w := r.cfg.Verbose; w != nil {
+			fmt.Fprintf(w, "epoch %d ok: %s\n", epoch, r.res.Line())
+		}
+	}
+	return nil
+}
+
+// epoch runs one churn epoch; ok=false means an invariant failed and the
+// run should stop.
+func (r *soakRun) epoch(epoch int) (bool, error) {
+	r.st.BeginEpoch()
+	if r.wit != nil {
+		r.wit.Reset()
+	}
+
+	// Set up calls at quiescence so the failure-driven teardown invariant
+	// is exercised from a clean state.
+	infos, err := r.setupCalls(epoch)
+	if err != nil {
+		return false, err
+	}
+	if len(r.res.Violations) > 0 {
+		return false, nil
+	}
+
+	// Plan and apply this epoch's fault schedule, quiescing between steps.
+	if err := r.applySchedule(epoch); err != nil {
+		return false, err
+	}
+	// Self-check: the tracker's ground truth must agree with the runtime's
+	// hardware state; a divergence is a harness bug, not a violation.
+	for _, e := range r.g.Edges() {
+		if r.st.EdgeDown(e.U, e.V) != r.h.LinkUp(e.U, e.V) {
+			continue
+		}
+		return false, fmt.Errorf("faults: ground truth diverged at edge %d-%d (tracker down=%v, runtime up=%v)",
+			e.U, e.V, r.st.EdgeDown(e.U, e.V), r.h.LinkUp(e.U, e.V))
+	}
+
+	// I1: topology databases re-converge to the ground truth.
+	rounds, witness, err := r.convergeRounds()
+	if err != nil {
+		return false, err
+	}
+	if rounds < 0 {
+		r.violate(epoch, 1, "databases did not match the ground truth within %d broadcast rounds: %s", r.maxRounds(), witness)
+		return false, nil
+	}
+	r.res.ConvRounds += rounds
+	if rounds > r.res.ConvMax {
+		r.res.ConvMax = rounds
+	}
+
+	// I2: the largest live component elects exactly one leader whose
+	// domain covers the component.
+	if !r.cfg.NoElection {
+		if ok, err := r.checkElection(epoch); err != nil || !ok {
+			return ok, err
+		}
+	}
+
+	// I3: failure-driven teardown left exactly the right call state.
+	if ok, err := r.checkCalls(epoch, infos); err != nil || !ok {
+		return ok, err
+	}
+
+	// I4: no packet crosses a down link (and up links still carry).
+	if ok, err := r.checkProbes(epoch); err != nil || !ok {
+		return ok, err
+	}
+
+	// I5: the path-length restriction was never violated.
+	if m := r.h.Metrics(); m.DmaxViolations != 0 {
+		r.violate(epoch, 5, "%d sends exceeded dmax", m.DmaxViolations)
+		return false, nil
+	}
+	r.res.Metrics = r.h.Metrics()
+	return true, nil
+}
+
+// applySchedule merges all generators' plans for the epoch plus any
+// soak-scheduled events (leader crashes), then applies them step group by
+// step group with a quiescence barrier between groups.
+func (r *soakRun) applySchedule(epoch int) error {
+	var evs []Event
+	for _, gen := range r.gens {
+		evs = append(evs, gen.Plan(epoch, r.st, r.rng)...)
+	}
+	evs = append(evs, r.pend[epoch]...)
+	delete(r.pend, epoch)
+	sortEvents(evs)
+	for i := 0; i < len(evs); {
+		j := i
+		for j < len(evs) && evs[j].Step == evs[i].Step {
+			for _, flip := range r.st.Apply(evs[j]) {
+				r.h.InjectLink(flip.U, flip.V, flip.Up)
+				r.res.FaultFlips++
+			}
+			j++
+		}
+		if err := r.h.Quiesce(); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// setupCalls opens cfg.Calls calls over the current live topology and
+// confirms each one before any faults are injected.
+func (r *soakRun) setupCalls(epoch int) ([]callInfo, error) {
+	var out []callInfo
+	if r.cfg.Calls <= 0 {
+		return nil, nil
+	}
+	live := r.st.Live()
+	var callers []core.NodeID
+	for v := 0; v < live.N(); v++ {
+		if live.Degree(core.NodeID(v)) > 0 {
+			callers = append(callers, core.NodeID(v))
+		}
+	}
+	pm := r.h.PortMap()
+	for i := 0; i < r.cfg.Calls && len(callers) > 0; i++ {
+		caller := callers[r.rng.Intn(len(callers))]
+		dist := live.Distances(caller)
+		var far, near []core.NodeID
+		for v := 0; v < live.N(); v++ {
+			switch {
+			case dist[v] >= 2:
+				far = append(far, core.NodeID(v))
+			case dist[v] == 1:
+				near = append(near, core.NodeID(v))
+			}
+		}
+		pool := far
+		if len(pool) == 0 {
+			pool = near
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		callee := pool[r.rng.Intn(len(pool))]
+		path := live.BFSTree(caller).PathFromRoot(callee)
+		links, err := pm.RouteLinks(path)
+		if err != nil {
+			return nil, fmt.Errorf("faults: routing call path: %w", err)
+		}
+		r.callSeq++
+		id := r.callSeq
+		r.h.Inject(caller, &calls.SetupCmd{Call: id, Route: anr.CopyPath(links)})
+		if err := r.h.Quiesce(); err != nil {
+			return nil, err
+		}
+		if got := r.node(caller).mgr.Status(id); got != calls.StatusActive {
+			r.violate(epoch, 3, "call %d (%d->%d) is %s after quiescent setup, want active", id, caller, callee, got)
+			return out, nil
+		}
+		r.res.CallsSetUp++
+		out = append(out, callInfo{id: id, caller: caller, path: path})
+	}
+	return out, nil
+}
+
+// checkCalls verifies invariant I3: every call whose path was touched by a
+// failure is fully torn down with the caller notified; every untouched call
+// is fully intact. Survivors are then torn down and the epoch must end with
+// zero residual per-hop state anywhere.
+func (r *soakRun) checkCalls(epoch int, infos []callInfo) (bool, error) {
+	for _, ci := range infos {
+		touched := false
+		for k := 0; k+1 < len(ci.path); k++ {
+			if r.st.Touched(ci.path[k], ci.path[k+1]) {
+				touched = true
+				break
+			}
+		}
+		status := r.node(ci.caller).mgr.Status(ci.id)
+		if touched {
+			if status != calls.StatusFailed {
+				r.violate(epoch, 3, "call %d crossed a failed link but caller %d reports %s, want failed", ci.id, ci.caller, status)
+				return false, nil
+			}
+			for _, v := range ci.path {
+				if r.node(v).mgr.Holds(ci.id) {
+					r.violate(epoch, 3, "residual state for failed call %d at node %d", ci.id, v)
+					return false, nil
+				}
+			}
+			r.res.CallsFailed++
+			continue
+		}
+		if status != calls.StatusActive {
+			r.violate(epoch, 3, "untouched call %d reports %s at caller %d, want active", ci.id, status, ci.caller)
+			return false, nil
+		}
+		for _, v := range ci.path[1:] {
+			if !r.node(v).mgr.Holds(ci.id) {
+				r.violate(epoch, 3, "untouched call %d lost its state at node %d", ci.id, v)
+				return false, nil
+			}
+		}
+		r.h.Inject(ci.caller, &calls.TeardownCmd{Call: ci.id})
+		r.res.CallsTorn++
+	}
+	if err := r.h.Quiesce(); err != nil {
+		return false, err
+	}
+	for v := 0; v < r.g.N(); v++ {
+		if residual := r.node(core.NodeID(v)).mgr.Calls(); len(residual) != 0 {
+			r.violate(epoch, 3, "node %d still holds call state %v after teardown", v, residual)
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// checkElection verifies invariant I2 on the largest live component: the §4
+// algorithm elects exactly one leader, its domain covers the component, and
+// the tour cost respects Theorem 5's 6n bound. With probability LeaderCrash
+// the elected leader is crashed next epoch (and restored after Downtime).
+func (r *soakRun) checkElection(epoch int) (bool, error) {
+	live := r.st.Live()
+	comps := live.Components()
+	var comp []core.NodeID
+	for _, c := range comps {
+		if len(c) > len(comp) {
+			comp = c
+		}
+	}
+	if len(comp) < 2 {
+		return true, nil // nothing to elect over
+	}
+	sub, ids := inducedSubgraph(live, comp)
+	nStart := 1 + r.rng.Intn(min(3, len(comp)))
+	perm := r.rng.Perm(len(comp))
+	starters := make([]core.NodeID, nStart)
+	for i := 0; i < nStart; i++ {
+		starters[i] = core.NodeID(perm[i])
+	}
+	var (
+		res election.Result
+		err error
+	)
+	seed := r.cfg.Seed + int64(epoch) + 1
+	if r.cfg.runtime() == "gosim" {
+		timeout := r.cfg.Timeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		res, err = election.RunAsync(sub, election.AlgoToken, starters, seed, timeout)
+	} else {
+		res, err = election.Run(sub, election.AlgoToken, starters, sim.WithSeed(seed))
+	}
+	if err != nil {
+		r.violate(epoch, 2, "re-election on the largest component (%d nodes): %v", len(comp), err)
+		return false, nil
+	}
+	if res.LeaderDomain != len(comp) {
+		r.violate(epoch, 2, "leader %d has domain %d, want the whole component (%d)", ids[res.Leader], res.LeaderDomain, len(comp))
+		return false, nil
+	}
+	if bound := int64(6 * len(comp)); res.AlgorithmMessages > bound {
+		r.violate(epoch, 2, "election used %d algorithm messages, above Theorem 5's bound %d", res.AlgorithmMessages, bound)
+		return false, nil
+	}
+	r.res.Elections++
+	r.res.ReelectMsgs += res.AlgorithmMessages
+	r.res.ReelectTime += res.Metrics.FinishTime
+	if res.Metrics.FinishTime > r.res.ReelectMax {
+		r.res.ReelectMax = res.Metrics.FinishTime
+	}
+	if r.cfg.LeaderCrash > 0 && r.rng.Float64() < r.cfg.LeaderCrash {
+		leader := ids[res.Leader]
+		r.pend[epoch+1] = append(r.pend[epoch+1], Event{Step: 0, Kind: Crash, U: leader})
+		back := epoch + 1 + max(1, r.cfg.Downtime)
+		r.pend[back] = append(r.pend[back], Event{Step: 0, Kind: Restore, U: leader})
+	}
+	return true, nil
+}
+
+// checkProbes verifies invariant I4 behaviorally: a probe across every down
+// link must be swallowed by the hardware, and a sample of up links must
+// still carry traffic.
+func (r *soakRun) checkProbes(epoch int) (bool, error) {
+	pm := r.h.PortMap()
+	type probe struct {
+		id   int64
+		e    graph.Edge
+		want bool // expect the echo to arrive
+	}
+	var probes []probe
+	down := r.st.DownEdges()
+	if len(down) > 64 {
+		down = down[:64]
+	}
+	for _, e := range down {
+		r.probeID++
+		probes = append(probes, probe{id: r.probeID, e: e, want: false})
+	}
+	up := r.st.UpEdges()
+	for i := 0; i < 16 && len(up) > 0; i++ {
+		j := r.rng.Intn(len(up))
+		e := up[j]
+		up = append(up[:j], up[j+1:]...)
+		r.probeID++
+		probes = append(probes, probe{id: r.probeID, e: e, want: true})
+	}
+	for _, p := range probes {
+		link, ok := pm.Toward(p.e.U, p.e.V)
+		if !ok {
+			return false, fmt.Errorf("faults: no port %d->%d", p.e.U, p.e.V)
+		}
+		r.h.Inject(p.e.U, probeCmd{Link: link, ID: p.id})
+		r.res.ProbesSent++
+		if !p.want {
+			r.res.ProbesDown++
+		}
+	}
+	if err := r.h.Quiesce(); err != nil {
+		return false, err
+	}
+	for _, p := range probes {
+		got := r.book.sawEcho(p.id)
+		if got && !p.want {
+			r.violate(epoch, 4, "packet crossed down link %d-%d", p.e.U, p.e.V)
+			return false, nil
+		}
+		if !got && p.want {
+			r.violate(epoch, 4, "up link %d-%d dropped a packet", p.e.U, p.e.V)
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// inducedSubgraph maps comp onto a compact 0..k-1 graph; ids maps local
+// node IDs back to g's.
+func inducedSubgraph(g *graph.Graph, comp []core.NodeID) (*graph.Graph, []core.NodeID) {
+	idx := make(map[core.NodeID]int, len(comp))
+	ids := make([]core.NodeID, len(comp))
+	for i, v := range comp {
+		idx[v] = i
+		ids[i] = v
+	}
+	sub := graph.New(len(comp))
+	for _, e := range g.Edges() {
+		iu, uOK := idx[e.U]
+		iv, vOK := idx[e.V]
+		if uOK && vOK {
+			sub.MustAddEdge(core.NodeID(iu), core.NodeID(iv))
+		}
+	}
+	return sub, ids
+}

@@ -58,6 +58,75 @@ func (p *crashWatcher) LinkEvent(_ core.Env, port core.Port) {
 	}
 }
 
+// TestCrashAndRestoreNode mirrors the discrete-event runtime's test: a
+// crash downs every incident link, a restore brings them all back, and both
+// transitions notify the neighbors.
+func TestCrashAndRestoreNode(t *testing.T) {
+	g := graph.Star(4)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &crashWatcher{downs: new(atomic.Int64)}
+	})
+	defer net.Shutdown()
+
+	net.CrashNode(0)
+	if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for v := core.NodeID(1); v <= 3; v++ {
+		if net.LinkUp(0, v) {
+			t.Fatalf("link 0-%d still up after crash", v)
+		}
+	}
+	// 3 links x 2 endpoints notified.
+	if got := net.Metrics().LinkEvents; got != 6 {
+		t.Fatalf("LinkEvents = %d, want 6", got)
+	}
+	net.RestoreNode(0)
+	if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for v := core.NodeID(1); v <= 3; v++ {
+		if !net.LinkUp(0, v) {
+			t.Fatalf("link 0-%d still down after restore", v)
+		}
+	}
+	if got := net.Metrics().LinkEvents; got != 12 {
+		t.Fatalf("LinkEvents = %d, want 12 after restore", got)
+	}
+	if net.Graph() != g {
+		t.Fatal("Graph() must return the constructor's graph")
+	}
+}
+
+// TestRapidFlapLinkEventAccounting drives one edge through k down/up flips:
+// every data-link notification is exactly one NCU activation, so the
+// LinkEvents count is 2 per flip (both endpoints) and nothing is delivered.
+func TestRapidFlapLinkEventAccounting(t *testing.T) {
+	g := graph.Path(3)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &crashWatcher{downs: new(atomic.Int64)}
+	})
+	defer net.Shutdown()
+
+	const flips = 50
+	for i := 0; i < flips; i++ {
+		net.SetLink(1, 2, i%2 == 0)
+	}
+	if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if m.LinkEvents != 2*flips {
+		t.Fatalf("LinkEvents = %d, want %d (one activation per notification)", m.LinkEvents, 2*flips)
+	}
+	if m.Deliveries != 0 || m.Injections != 0 {
+		t.Fatalf("flaps must not deliver packets: %s", m)
+	}
+	if got := m.Syscalls(); got != 2*flips {
+		t.Fatalf("Syscalls = %d, want %d", got, 2*flips)
+	}
+}
+
 func TestGosimHopFilter(t *testing.T) {
 	g := graph.Path(3)
 	net := New(g, func(id core.NodeID) core.Protocol {

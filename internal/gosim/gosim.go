@@ -156,6 +156,9 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 // PortMap exposes the static port assignment for experiment drivers.
 func (net *Network) PortMap() *core.PortMap { return net.pm }
 
+// Graph returns the underlying topology.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
 // Protocol returns node u's protocol instance for post-run inspection. Only
 // safe to call while the network is quiescent or after Shutdown.
 func (net *Network) Protocol(u core.NodeID) core.Protocol { return net.nodes[u].proto }
@@ -195,11 +198,32 @@ func (net *Network) SetLink(u, v core.NodeID, up bool) {
 	}
 }
 
+// LinkUp reports the current hardware state of edge {u, v}.
+func (net *Network) LinkUp(u, v core.NodeID) bool {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	return !net.down[graph.Edge{U: u, V: v}.Canon()]
+}
+
+// InjectLink flips the hardware state of edge {u, v}; it is SetLink under
+// the name shared with the discrete-event runtime (faults.Injector).
+func (net *Network) InjectLink(u, v core.NodeID, up bool) {
+	net.SetLink(u, v, up)
+}
+
 // CrashNode fails every link incident to v (the model's node failure: an
 // inactive node is one all of whose links are inactive).
 func (net *Network) CrashNode(v core.NodeID) {
 	for _, nb := range net.g.Neighbors(v) {
 		net.SetLink(v, nb, false)
+	}
+}
+
+// RestoreNode schedules the reverse of CrashNode: every incident link comes
+// back up and both endpoints are notified.
+func (net *Network) RestoreNode(v core.NodeID) {
+	for _, nb := range net.g.Neighbors(v) {
+		net.SetLink(v, nb, true)
 	}
 }
 

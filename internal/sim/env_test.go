@@ -113,6 +113,35 @@ func TestCrashAndRestoreNode(t *testing.T) {
 	}
 }
 
+// TestRapidFlapLinkEventAccounting flips one edge k times in quick
+// succession: each data-link notification is exactly one NCU activation, so
+// LinkEvents = 2 per flip (both endpoints), with no deliveries and the
+// matching NCU busy time.
+func TestRapidFlapLinkEventAccounting(t *testing.T) {
+	g := graph.Path(3)
+	net := New(g, func(id core.NodeID) core.Protocol {
+		return &collectProto{id: id}
+	}, WithDelays(0, 1))
+	const flips = 50
+	for i := 0; i < flips; i++ {
+		net.SetLink(core.Time(i), 1, 2, i%2 == 0)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if m.LinkEvents != 2*flips {
+		t.Fatalf("LinkEvents = %d, want %d (one activation per notification)", m.LinkEvents, 2*flips)
+	}
+	if m.Deliveries != 0 || m.Injections != 0 {
+		t.Fatalf("flaps must not deliver packets: %s", m)
+	}
+	busy := net.BusyTimePerNode()
+	if busy[1] != flips || busy[2] != flips {
+		t.Fatalf("busy = %v, want %d at both endpoints (P=1 per notification)", busy, flips)
+	}
+}
+
 func TestBusyTimeTracksActivations(t *testing.T) {
 	g := graph.Path(2)
 	net := New(g, func(id core.NodeID) core.Protocol {

@@ -247,6 +247,14 @@ func (net *Network) RestoreNode(t core.Time, v core.NodeID) {
 	}
 }
 
+// InjectLink flips the hardware state of edge {u, v} at the current virtual
+// time. It is the fault-injection surface shared with the goroutine runtime
+// (faults.Injector); experiment drivers that script changes at explicit
+// times keep using SetLink.
+func (net *Network) InjectLink(u, v core.NodeID, up bool) {
+	net.SetLink(net.now, u, v, up)
+}
+
 // Run drains the event queue and returns the finish time (the time of the
 // last NCU activation).
 func (net *Network) Run() (core.Time, error) {

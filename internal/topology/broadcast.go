@@ -62,9 +62,19 @@ func (b *Broadcast) Init(env core.Env) {
 }
 
 // LinkEvent refreshes the local record; the new state is carried by the next
-// broadcast.
-func (b *Broadcast) LinkEvent(env core.Env, _ core.Port) {
+// broadcast. A recovery additionally pushes the whole database straight
+// over the recovered link (adjacency bring-up, as in link-state routers).
+// Without it the incremental protocol can deadlock: after a down period,
+// down-era records of the two endpoints survive at third parties, every
+// view then excludes the healed edge, so no broadcast ever routes across
+// it and the stale records are never replaced. The database exchange gives
+// the recovering side a view good enough to route its own fresh record
+// everywhere, which unwinds the staleness.
+func (b *Broadcast) LinkEvent(env core.Env, port core.Port) {
 	b.refresh(env)
+	if port.Up {
+		_ = env.Send(anr.Direct([]anr.ID{port.Local}), &Msg{Origin: b.id, Seq: b.seq, Recs: b.db.Records()})
+	}
 }
 
 // Deliver handles triggers (start a broadcast) and broadcast packets

@@ -162,9 +162,15 @@ func (w *WalkBroadcast) Init(env core.Env) {
 	w.snapshot(env)
 }
 
-// LinkEvent refreshes the local record.
-func (w *WalkBroadcast) LinkEvent(env core.Env, _ core.Port) {
+// LinkEvent refreshes the local record. Recoveries push the whole database
+// over the recovered link, like the branching-paths protocol: walks are
+// routed from the view, and surviving down-era records would otherwise
+// keep the healed edge out of every view for good.
+func (w *WalkBroadcast) LinkEvent(env core.Env, port core.Port) {
 	w.refresh(env)
+	if port.Up {
+		_ = env.Send(anr.Direct([]anr.ID{port.Local}), &WalkMsg{Origin: w.id, Seq: w.seq, Recs: w.db.Records()})
+	}
 }
 
 // Deliver handles triggers and walk packets.
