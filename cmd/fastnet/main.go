@@ -220,6 +220,14 @@ func runSoak(args []string) error {
 		downtime    = fs.Int("downtime", 1, "epochs a crashed node stays down")
 		callCount   = fs.Int("calls", 2, "calls set up and failure-checked per epoch")
 		leaderCrash = fs.Float64("leader-crash", 0.25, "per-epoch probability of crashing the leader")
+		loss        = fs.Float64("loss", 0, "per-traversal drop probability (lossy-link model)")
+		dup         = fs.Float64("dup", 0, "per-traversal duplication probability")
+		corrupt     = fs.Float64("corrupt", 0, "per-traversal corruption probability")
+		jitter      = fs.Float64("jitter", 0, "per-traversal extra-delay probability")
+		jitterMax   = fs.Int("jittermax", 0, "max extra per-hop delay (default 4)")
+		reliableN   = fs.Int("reliable", 0, "reliable ledger messages per epoch (invariant I6)")
+		burstEvery  = fs.Int("burst-every", 0, "scale the fault profile up every k-th epoch (0 = off)")
+		burstScale  = fs.Float64("burst-scale", 0, "burst multiplier (default 2)")
 		adversary   = fs.Bool("adversary", false, "fail the link the last delivery was observed on")
 		noElection  = fs.Bool("no-election", false, "skip the per-epoch re-election invariant")
 		maxRounds   = fs.Int("max-rounds", 0, "convergence-round cap (default n+8)")
@@ -255,6 +263,14 @@ func runSoak(args []string) error {
 		Downtime:       *downtime,
 		Adversary:      *adversary,
 		LeaderCrash:    *leaderCrash,
+		Loss:           *loss,
+		Dup:            *dup,
+		Corrupt:        *corrupt,
+		Jitter:         *jitter,
+		JitterMax:      *jitterMax,
+		BurstEvery:     *burstEvery,
+		BurstScale:     *burstScale,
+		Reliable:       *reliableN,
 		Calls:          *callCount,
 		NoElection:     *noElection,
 		MaxRounds:      *maxRounds,

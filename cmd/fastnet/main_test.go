@@ -1,6 +1,101 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles as the child process for the re-exec tests below: when
+// FASTNET_ARGV is set, the binary behaves as `fastnet <argv>` — including
+// main's real exit-status handling — instead of running the test suite.
+func TestMain(m *testing.M) {
+	if argv := os.Getenv("FASTNET_ARGV"); argv != "" {
+		os.Args = append([]string{"fastnet"}, strings.Split(argv, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// reexec runs this test binary as the fastnet CLI and returns its combined
+// output and exit code.
+func reexec(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "FASTNET_ARGV="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec failed to run: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestSoakViolationExitCodeAndRepro: an invariant violation must turn into a
+// non-zero process exit status and a one-line repro command that reproduces
+// the identical violation when replayed.
+func TestSoakViolationExitCodeAndRepro(t *testing.T) {
+	// -max-rounds 1 on a churned ring cannot converge: deterministic I1
+	// violation on the discrete-event runtime.
+	out, code := reexec(t, "soak", "-topo", "ring", "-n", "16", "-seed", "1",
+		"-epochs", "2", "-flaps", "3", "-partition-every", "0", "-crashes", "0",
+		"-calls", "0", "-leader-crash", "0", "-no-election", "-max-rounds", "1")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "invariant I1 violated") {
+		t.Fatalf("output misses the violation line:\n%s", out)
+	}
+	var repro string
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "repro: fastnet "); ok {
+			repro = rest
+			break
+		}
+	}
+	if repro == "" {
+		t.Fatalf("output misses the one-line repro:\n%s", out)
+	}
+	// Replaying the repro command reproduces the violation byte for byte.
+	out2, code2 := reexec(t, strings.Fields(repro)...)
+	if code2 != 1 {
+		t.Fatalf("repro exit code = %d, want 1\n%s", code2, out2)
+	}
+	want := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "violation:") {
+			want = line
+			break
+		}
+	}
+	if want == "" || !strings.Contains(out2, want) {
+		t.Fatalf("repro run did not reproduce %q:\n%s", want, out2)
+	}
+}
+
+// TestSoakLossyCLIPasses: the lossy-link flags drive a clean run to exit 0
+// with the reliable ledger reported on the result line.
+func TestSoakLossyCLIPasses(t *testing.T) {
+	out, code := reexec(t, "soak", "-topo", "ring", "-n", "12", "-seed", "3",
+		"-epochs", "2", "-flaps", "1", "-partition-every", "0", "-crashes", "0",
+		"-loss", "0.2", "-dup", "0.1", "-corrupt", "0.05", "-jitter", "0.1", "-reliable", "4")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "reliable(sent=8") || !strings.Contains(out, "faults(drop=") {
+		t.Fatalf("result line misses lossy blocks:\n%s", out)
+	}
+}
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {

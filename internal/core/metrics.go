@@ -40,6 +40,15 @@ type Metrics struct {
 	// Filtered counts packets dropped by the optional programmable
 	// switching filter (the extended hardware model of the conclusion).
 	Filtered int64
+	// FaultDrops counts packets lost to the lossy-link model (distinct
+	// from Drops, which counts losses on administratively-down links).
+	FaultDrops int64
+	// FaultDups counts link traversals that duplicated the packet.
+	FaultDups int64
+	// FaultCorrupts counts link traversals that corrupted the payload.
+	FaultCorrupts int64
+	// FaultJitters counts link traversals hit by extra delay/reordering.
+	FaultJitters int64
 	// FinishTime is the virtual time of the last NCU activation
 	// (discrete-event runtime only; 0 in the goroutine runtime).
 	FinishTime Time
@@ -51,10 +60,17 @@ func (m Metrics) Syscalls() int64 {
 	return m.Deliveries + m.Injections + m.LinkEvents
 }
 
-// String renders the metrics on one line for experiment tables.
+// String renders the metrics on one line for experiment tables. The fault
+// counters are appended only when the lossy-link model fired, so fault-free
+// tables keep their historical shape.
 func (m Metrics) String() string {
-	return fmt.Sprintf("hops=%d deliveries=%d (copies=%d) injections=%d linkEvents=%d sends=%d packets=%d drops=%d time=%d",
+	s := fmt.Sprintf("hops=%d deliveries=%d (copies=%d) injections=%d linkEvents=%d sends=%d packets=%d drops=%d time=%d",
 		m.Hops, m.Deliveries, m.CopyDeliveries, m.Injections, m.LinkEvents, m.Sends, m.Packets, m.Drops, m.FinishTime)
+	if m.FaultDrops+m.FaultDups+m.FaultCorrupts+m.FaultJitters > 0 {
+		s += fmt.Sprintf(" faults(drop=%d dup=%d corrupt=%d jitter=%d)",
+			m.FaultDrops, m.FaultDups, m.FaultCorrupts, m.FaultJitters)
+	}
+	return s
 }
 
 // Add accumulates other into m.
@@ -70,6 +86,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.DmaxViolations += other.DmaxViolations
 	m.HeaderBits += other.HeaderBits
 	m.Filtered += other.Filtered
+	m.FaultDrops += other.FaultDrops
+	m.FaultDups += other.FaultDups
+	m.FaultCorrupts += other.FaultCorrupts
+	m.FaultJitters += other.FaultJitters
 	if other.MaxHeaderHops > m.MaxHeaderHops {
 		m.MaxHeaderHops = other.MaxHeaderHops
 	}

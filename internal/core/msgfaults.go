@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MsgFaults configures the lossy-link model: per-link-traversal message
+// perturbations layered on top of the binary up/down link state. The paper's
+// §2 assumes a data-link protocol that makes every link reliable-or-declared-
+// down; this surface weakens that assumption so the software price of
+// recovering reliability (internal/reliable) can be measured in the paper's
+// own system-call and hop measures.
+//
+// Each probability applies independently per link traversal (not per
+// packet): a long route rolls once per hop, so loss compounds with path
+// length exactly as it does on a real fabric. The zero value disables the
+// model entirely. Both runtimes draw rolls from a dedicated seeded source,
+// so on the discrete-event runtime a run remains a pure function of the
+// seed.
+type MsgFaults struct {
+	// Drop is the probability a traversal silently loses the packet.
+	Drop float64
+	// Dup is the probability a traversal delivers the packet twice: the
+	// duplicate continues over the same remaining route, so every
+	// downstream NCU sees the payload again.
+	Dup float64
+	// Corrupt is the probability a traversal damages the payload. Payloads
+	// implementing Corruptible produce a deterministic mangled copy (so
+	// checksum verification has something to catch); all other payloads
+	// are replaced by Garbled, the unparseable-frame marker.
+	Corrupt float64
+	// Jitter is the probability a traversal is delayed by extra hardware
+	// time drawn from [1, JitterMax] (discrete-event runtime) or delivered
+	// out of order relative to queued packets (goroutine runtime). This is
+	// the model's bounded-reordering knob.
+	Jitter float64
+	// JitterMax bounds the extra per-hop delay; 0 means 1.
+	JitterMax Time
+}
+
+// Enabled reports whether any perturbation is configured.
+func (f MsgFaults) Enabled() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Corrupt > 0 || f.Jitter > 0
+}
+
+// Scale returns a copy of f with every probability multiplied by k (capped
+// at 1); schedule generators use it to shape bursty epochs.
+func (f MsgFaults) Scale(k float64) MsgFaults {
+	s := f
+	s.Drop = min(1, f.Drop*k)
+	s.Dup = min(1, f.Dup*k)
+	s.Corrupt = min(1, f.Corrupt*k)
+	s.Jitter = min(1, f.Jitter*k)
+	return s
+}
+
+// String renders the profile for repro lines.
+func (f MsgFaults) String() string {
+	return fmt.Sprintf("drop=%g dup=%g corrupt=%g jitter=%g/%d",
+		f.Drop, f.Dup, f.Corrupt, f.Jitter, f.JitterMax)
+}
+
+// MsgFault is the outcome of one per-traversal roll.
+type MsgFault int
+
+// Per-traversal fault outcomes.
+const (
+	FaultNone MsgFault = iota
+	FaultDrop
+	FaultDup
+	FaultCorrupt
+	FaultJitter
+)
+
+// String names the fault for trace cause tags.
+func (k MsgFault) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultJitter:
+		return "jitter"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Roll draws the fault for one link traversal. A single uniform draw is
+// partitioned over the configured probabilities, so at most one fault
+// applies per traversal and the rng consumption per hop is constant (one
+// extra draw for jitter length or corruption shape happens only when that
+// fault fires).
+func (f MsgFaults) Roll(r *rand.Rand) MsgFault {
+	if !f.Enabled() {
+		return FaultNone
+	}
+	u := r.Float64()
+	switch {
+	case u < f.Drop:
+		return FaultDrop
+	case u < f.Drop+f.Dup:
+		return FaultDup
+	case u < f.Drop+f.Dup+f.Corrupt:
+		return FaultCorrupt
+	case u < f.Drop+f.Dup+f.Corrupt+f.Jitter:
+		return FaultJitter
+	default:
+		return FaultNone
+	}
+}
+
+// JitterDelay draws the extra hardware delay of one jitter fault.
+func (f MsgFaults) JitterDelay(r *rand.Rand) Time {
+	if f.JitterMax <= 1 {
+		return 1
+	}
+	return 1 + Time(r.Int63n(int64(f.JitterMax)))
+}
+
+// Corruptible lets a payload type opt into realistic corruption: the fault
+// layer calls CorruptedCopy to obtain a mangled-but-typed copy (e.g. a frame
+// with a damaged checksum field), which is what gives receiver-side checksum
+// verification something real to reject. The copy must not alias mutable
+// state of the original, and must be a deterministic function of r.
+type Corruptible interface {
+	CorruptedCopy(r *rand.Rand) any
+}
+
+// Garbled replaces payloads that do not implement Corruptible when a
+// corruption fault fires: the frame arrived but is unparseable. Protocols
+// that switch on payload type ignore it naturally, which models "discarded
+// by the header CRC" — no phantom state can ever be installed from it.
+type Garbled struct{}
+
+// CorruptPayload produces the damaged version of payload for one corruption
+// fault.
+func CorruptPayload(payload any, r *rand.Rand) any {
+	if c, ok := payload.(Corruptible); ok {
+		return c.CorruptedCopy(r)
+	}
+	return Garbled{}
+}

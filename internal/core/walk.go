@@ -26,6 +26,20 @@ type Delivery struct {
 	// HopsBefore is the number of link traversals completed before this
 	// delivery; runtimes use it to time the delivery (t0 + C*HopsBefore).
 	HopsBefore int
+	// Payload, when non-nil, overrides the routed payload for this
+	// delivery: a corruption fault upstream damaged the packet before it
+	// got here.
+	Payload any
+	// Reordered marks deliveries behind a jitter fault; the goroutine
+	// runtime honors it by enqueueing at a random inbox position.
+	Reordered bool
+}
+
+// TraversalFault is one lossy-link perturbation applied during a walk.
+type TraversalFault struct {
+	Kind MsgFault
+	// At is the node whose outgoing link traversal was perturbed.
+	At NodeID
 }
 
 // Traversal is the complete hardware-level outcome of routing one packet.
@@ -42,6 +56,9 @@ type Traversal struct {
 	// Filtered is true if the programmable switching filter discarded the
 	// packet (Dropped stays false in that case).
 	Filtered bool
+	// Faults lists the lossy-link perturbations applied during the walk
+	// (fault drops are recorded here, not in Dropped).
+	Faults []TraversalFault
 }
 
 // LinkStateFunc reports whether the physical link behind node u's local port
@@ -155,4 +172,110 @@ func WalkRouteFiltered(pm *PortMap, up LinkStateFunc, filter HopFilter, src Node
 	}
 	// Validate guarantees a terminator, so this is unreachable.
 	return tr, fmt.Errorf("walk: header %v missing terminator", h)
+}
+
+// FaultRoller decides the fault applied to one link traversal; it is called
+// once per traversal, including on duplicate branches. Implementations wrap
+// a MsgFaults profile around a seeded rng (and a mutex under the goroutine
+// runtime). corrupt produces the damaged payload for a corruption fault.
+type FaultRoller func(at NodeID) MsgFault
+
+// WalkRouteFaults is WalkRouteFiltered under the lossy-link model: roll (if
+// non-nil) perturbs each live-link traversal. A duplicate branch re-walks
+// the remaining header, so its hops and deliveries are accounted again —
+// the duplicate physically retraverses the fabric. The whole route is
+// pre-validated against the port map, so branches cannot fail mid-walk.
+func WalkRouteFaults(pm *PortMap, up LinkStateFunc, filter HopFilter, roll FaultRoller, corrupt func(any) any, src NodeID, h anr.Header, payload any) (Traversal, error) {
+	if roll == nil {
+		return WalkRouteFiltered(pm, up, filter, src, h, payload)
+	}
+	if err := h.Validate(); err != nil {
+		return Traversal{}, err
+	}
+	// Pre-validate every named link so duplicate branches cannot hit a
+	// resolution error after the first branch already produced deliveries.
+	cur := src
+	for _, hop := range h {
+		if hop.Link == anr.NCU {
+			break
+		}
+		port, err := pm.Resolve(cur, hop.Link)
+		if err != nil {
+			return Traversal{}, fmt.Errorf("walk at node %d: %w", cur, err)
+		}
+		cur = port.Remote
+	}
+	var tr Traversal
+	var walk func(cur NodeID, i int, rev anr.Header, arrivedOn anr.ID, pl any, tainted, reordered bool, hops int)
+	walk = func(cur NodeID, i int, rev anr.Header, arrivedOn anr.ID, pl any, tainted, reordered bool, hops int) {
+		for ; i < len(h); i++ {
+			hop := h[i]
+			if hop.Link == anr.NCU {
+				d := Delivery{Node: cur, Reverse: rev, ArrivedOn: arrivedOn, HopsBefore: hops, Reordered: reordered}
+				if tainted {
+					d.Payload = pl
+				}
+				tr.Deliveries = append(tr.Deliveries, d)
+				return
+			}
+			port, _ := pm.Resolve(cur, hop.Link)
+			if i > 0 && filter != nil && !filter(cur, pl) {
+				tr.Filtered = true
+				tr.DroppedAt = cur
+				return
+			}
+			if hop.Copy {
+				d := Delivery{
+					Node:        cur,
+					Remaining:   h[i+1:].Clone(),
+					Reverse:     rev,
+					ArrivedOn:   arrivedOn,
+					ForwardedOn: hop.Link,
+					Copy:        true,
+					HopsBefore:  hops,
+					Reordered:   reordered,
+				}
+				if tainted {
+					d.Payload = pl
+				}
+				tr.Deliveries = append(tr.Deliveries, d)
+			}
+			if !up(cur, hop.Link) {
+				tr.Dropped = true
+				tr.DroppedAt = cur
+				return
+			}
+			dup := false
+			switch f := roll(cur); f {
+			case FaultDrop:
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultDrop, At: cur})
+				return
+			case FaultDup:
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultDup, At: cur})
+				dup = true
+			case FaultCorrupt:
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultCorrupt, At: cur})
+				pl = corrupt(pl)
+				tainted = true
+			case FaultJitter:
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultJitter, At: cur})
+				reordered = true
+			}
+			tr.Hops++
+			hops++
+			next := make(anr.Header, 0, len(rev)+1)
+			next = append(next, anr.Hop{Link: port.RemoteID})
+			rev = append(next, rev...)
+			arrivedOn = port.RemoteID
+			cur = port.Remote
+			if dup {
+				// The duplicate also crossed the link: account its hop and
+				// continue it independently from the far end.
+				tr.Hops++
+				walk(cur, i+1, rev.Clone(), arrivedOn, pl, tainted, reordered, hops)
+			}
+		}
+	}
+	walk(src, 0, anr.Local(), anr.NCU, payload, false, false, 0)
+	return tr, nil
 }

@@ -1,0 +1,148 @@
+package election
+
+import (
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// BeatTick drives the heartbeat detector one period forward; the experiment
+// driver injects it (NCUs have no timers in this model — compare
+// topology.Trigger and reliable.Tick).
+type BeatTick struct{}
+
+// beatProbe asks the leader for a liveness ack. Seq is monotone per prober,
+// so stale or fault-duplicated acks can never vouch for a newer probe.
+type beatProbe struct {
+	From core.NodeID
+	Seq  uint64
+}
+
+// beatAck answers a probe over the hardware reverse route. Neither message
+// implements core.Corruptible, so a corruption fault garbles them into
+// protocol-invisible frames — corruption can drop heartbeats but never forge
+// one.
+type beatAck struct {
+	From core.NodeID
+	Seq  uint64
+}
+
+// Detector is a heartbeat-based leader failure detector, the §4 hardening
+// for the lossy-link model: after an election it watches the elected leader
+// and raises a (sticky) suspicion when `Threshold` consecutive probe periods
+// pass unanswered. Losing a probe or an ack costs one period of detection
+// latency; suspicion is monotone — once raised it stays until SetLeader
+// re-arms the detector — so under probabilistic loss the detector can be
+// late, but a crashed leader is always eventually suspected, and the soak
+// invariants assert exactly that direction.
+//
+// The Detector is not a standalone core.Protocol: hosts multiplex it by
+// calling Handle from their own Deliver (the repo's soak node does), or wrap
+// it in DetectorNode for single-protocol tests.
+type Detector struct {
+	id core.NodeID
+	// Threshold is how many consecutive unanswered periods raise suspicion.
+	Threshold int
+
+	leader    core.NodeID
+	route     anr.Header
+	seq       uint64 // last probe sent
+	lastAcked uint64 // highest probe seq acked by the leader
+	misses    int
+	suspected bool
+
+	// Probes and Acks count this node's detector traffic for experiments.
+	Probes int64
+	Acks   int64
+}
+
+// NewDetector builds the detector for one node. threshold <= 0 defaults to 3.
+func NewDetector(id core.NodeID, threshold int) *Detector {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &Detector{id: id, Threshold: threshold, leader: core.None}
+}
+
+// SetLeader arms the detector: leader is the node to watch and route an ANR
+// route from here to it (nil/empty when this node IS the leader — it then
+// only answers probes). Re-arming clears any previous suspicion.
+func (d *Detector) SetLeader(leader core.NodeID, route anr.Header) {
+	d.leader = leader
+	d.route = route
+	d.seq = 0
+	d.lastAcked = 0
+	d.misses = 0
+	d.suspected = false
+}
+
+// Leader returns the currently watched leader (core.None if unarmed).
+func (d *Detector) Leader() core.NodeID { return d.leader }
+
+// Suspected reports whether the watched leader is currently suspected.
+func (d *Detector) Suspected() bool { return d.suspected }
+
+// Misses returns the current consecutive-unanswered-period count.
+func (d *Detector) Misses() int { return d.misses }
+
+// Handle consumes detector messages; it returns false for payloads belonging
+// to other protocols sharing the node.
+func (d *Detector) Handle(env core.Env, pkt core.Packet) bool {
+	switch msg := pkt.Payload.(type) {
+	case BeatTick:
+		d.tick(env)
+		return true
+	case *beatProbe:
+		// Any node can be probed; only answer for ourselves.
+		if msg.From != d.id {
+			d.Acks++
+			_ = env.Send(pkt.Reverse, &beatAck{From: d.id, Seq: msg.Seq})
+		}
+		return true
+	case *beatAck:
+		if msg.From == d.leader && msg.Seq > d.lastAcked {
+			d.lastAcked = msg.Seq
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// tick closes the previous probe period and opens the next one.
+func (d *Detector) tick(env core.Env) {
+	if d.leader == core.None || d.leader == d.id || d.suspected {
+		return
+	}
+	if d.seq > 0 && d.lastAcked < d.seq {
+		d.misses++
+		if d.misses >= d.Threshold {
+			d.suspected = true
+			return
+		}
+	} else {
+		d.misses = 0
+	}
+	d.seq++
+	d.Probes++
+	// A route that no longer exists (or exceeds dmax) counts like a lost
+	// probe: the misses pile up and suspicion follows.
+	_ = env.Send(d.route, &beatProbe{From: d.id, Seq: d.seq})
+}
+
+// DetectorNode wraps a Detector as a standalone core.Protocol.
+type DetectorNode struct {
+	D *Detector
+}
+
+var _ core.Protocol = (*DetectorNode)(nil)
+
+// Init implements core.Protocol.
+func (n *DetectorNode) Init(core.Env) {}
+
+// Deliver implements core.Protocol.
+func (n *DetectorNode) Deliver(env core.Env, pkt core.Packet) {
+	n.D.Handle(env, pkt)
+}
+
+// LinkEvent implements core.Protocol.
+func (n *DetectorNode) LinkEvent(core.Env, core.Port) {}

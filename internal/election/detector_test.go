@@ -1,0 +1,152 @@
+package election
+
+import (
+	"testing"
+	"time"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/gosim"
+	"fastnet/internal/sim"
+)
+
+func detNet(t *testing.T, n int, opts ...sim.Option) (*sim.Network, func(core.NodeID) *Detector) {
+	t.Helper()
+	base := []sim.Option{sim.WithDelays(1, 1), sim.WithDmax(n)}
+	net := sim.New(graph.Path(n), func(id core.NodeID) core.Protocol {
+		return &DetectorNode{D: NewDetector(id, 3)}
+	}, append(base, opts...)...)
+	return net, func(u core.NodeID) *Detector { return net.Protocol(u).(*DetectorNode).D }
+}
+
+func armPath(t *testing.T, net *sim.Network, det func(core.NodeID) *Detector, prober, leader core.NodeID) {
+	t.Helper()
+	path := []core.NodeID{}
+	for u := prober; ; u++ {
+		path = append(path, u)
+		if u == leader {
+			break
+		}
+	}
+	links, err := net.PortMap().RouteLinks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det(prober).SetLeader(leader, anr.Direct(links))
+	det(leader).SetLeader(leader, nil)
+}
+
+func beat(t *testing.T, net *sim.Network, prober core.NodeID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		net.Inject(net.Now()+1, prober, BeatTick{})
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDetectorNoFalsePositive: on a fault-free network a live leader is never
+// suspected, however long the detector runs.
+func TestDetectorNoFalsePositive(t *testing.T) {
+	net, det := detNet(t, 3)
+	armPath(t, net, det, 0, 2)
+	beat(t, net, 0, 25)
+	if det(0).Suspected() {
+		t.Fatal("live leader suspected on a fault-free network")
+	}
+	if det(0).Misses() != 0 {
+		t.Fatalf("misses = %d, want 0", det(0).Misses())
+	}
+}
+
+// TestDetectorSuspectsCrashedLeader: when the leader's links die, probes go
+// unanswered and suspicion is raised after Threshold periods.
+func TestDetectorSuspectsCrashedLeader(t *testing.T) {
+	net, det := detNet(t, 3)
+	armPath(t, net, det, 0, 2)
+	beat(t, net, 0, 5)
+	net.CrashNode(net.Now()+1, 2)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	beat(t, net, 0, 5)
+	if !det(0).Suspected() {
+		t.Fatal("crashed leader never suspected")
+	}
+}
+
+// TestDetectorSuspicionIsSticky: once raised, suspicion survives the leader
+// coming back; only SetLeader re-arms.
+func TestDetectorSuspicionIsSticky(t *testing.T) {
+	net, det := detNet(t, 3)
+	armPath(t, net, det, 0, 2)
+	net.CrashNode(0, 2)
+	beat(t, net, 0, 6)
+	if !det(0).Suspected() {
+		t.Fatal("crashed leader never suspected")
+	}
+	net.RestoreNode(net.Now()+1, 2)
+	beat(t, net, 0, 6)
+	if !det(0).Suspected() {
+		t.Fatal("suspicion must be sticky across leader recovery")
+	}
+	armPath(t, net, det, 0, 2)
+	beat(t, net, 0, 6)
+	if det(0).Suspected() {
+		t.Fatal("re-armed detector must trust the recovered leader again")
+	}
+}
+
+// TestDetectorLossDelaysButConverges: under heavy loss the detector may need
+// extra periods, but a crashed leader is still eventually suspected — and a
+// corrupted ack can never count as a heartbeat (beatAck is not Corruptible,
+// so corruption garbles it).
+func TestDetectorLossDelaysButConverges(t *testing.T) {
+	net, det := detNet(t, 3, sim.WithSeed(4))
+	armPath(t, net, det, 0, 2)
+	net.SetMsgFaults(core.MsgFaults{Drop: 0.4, Corrupt: 0.3})
+	net.CrashNode(0, 2)
+	beat(t, net, 0, 40)
+	if !det(0).Suspected() {
+		t.Fatal("crashed leader never suspected under loss")
+	}
+}
+
+// TestDetectorGosim: the detector behaves on the goroutine runtime too.
+func TestDetectorGosim(t *testing.T) {
+	g := graph.Path(3)
+	dets := make([]*Detector, 3)
+	net := gosim.New(g, func(id core.NodeID) core.Protocol {
+		dets[id] = NewDetector(id, 3)
+		return &DetectorNode{D: dets[id]}
+	})
+	defer net.Shutdown()
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets[0].SetLeader(2, anr.Direct(links))
+	dets[2].SetLeader(2, nil)
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			net.Inject(0, BeatTick{})
+			if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tick(10)
+	if dets[0].Suspected() {
+		t.Fatal("live leader suspected")
+	}
+	net.SetLink(1, 2, false)
+	if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tick(6)
+	if !dets[0].Suspected() {
+		t.Fatal("leader behind a dead link never suspected")
+	}
+}

@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative artefact of the paper:
 // one runner per experiment ID (E1..E14 for the paper's own artefacts,
-// E15..E20 for extensions; see DESIGN.md's index). The
+// E15..E21 for extensions; see DESIGN.md's index). The
 // runners return plain tables that cmd/fastnet renders and that
 // bench_test.go wraps as benchmarks.
 package experiments
@@ -120,6 +120,7 @@ func All() []Spec {
 		{ID: "E18", Title: "Extension: the introduction's premise — data rides hardware, control rides software", Run: E18DataVsControl},
 		{ID: "E19", Title: "Extension: broadcast-with-feedback (PIF) — §6's other-algorithms question", Run: E19PIF},
 		{ID: "E20", Title: "Extension: degradation under churn — convergence, syscalls, re-election latency", Run: E20Degradation},
+		{ID: "E21", Title: "Extension: reliable delivery on lossy links — ARQ overhead and convergence vs loss", Run: E21Reliability},
 	}
 	sort.Slice(specs, func(i, j int) bool { return idOrder(specs[i].ID) < idOrder(specs[j].ID) })
 	return specs

@@ -28,6 +28,9 @@ type Harness interface {
 	Protocol(v core.NodeID) core.Protocol
 	// PortMap exposes the ANR port numbering.
 	PortMap() *core.PortMap
+	// SetMsgFaults swaps the lossy-link profile for all traffic sent after
+	// the call (the soak toggles it per phase). Both runtimes expose it.
+	SetMsgFaults(f core.MsgFaults)
 	// Metrics snapshots the system-call accounting.
 	Metrics() core.Metrics
 	// Close releases runtime resources (goroutines on gosim; no-op on sim).

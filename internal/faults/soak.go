@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"fastnet/internal/election"
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
+	"fastnet/internal/reliable"
 	"fastnet/internal/sim"
 	"fastnet/internal/topology"
 )
@@ -37,6 +39,28 @@ type Config struct {
 	Adversary      bool
 	LeaderCrash    float64 // per-epoch probability of crashing the leader
 
+	// Lossy-link profile (core.MsgFaults probabilities). When any of these
+	// is nonzero the soak runs its message-fault phases: convergence (I1),
+	// the reliable-delivery ledger (I6) and the down-direction link probes
+	// (I4) happen on the lossy fabric; exact-state checks (call state,
+	// up-direction probes) run after healing it, since arbitrary loss can
+	// legitimately defeat the liveness they assert.
+	Loss      float64 // per-traversal drop probability
+	Dup       float64 // per-traversal duplication probability
+	Corrupt   float64 // per-traversal corruption probability
+	Jitter    float64 // per-traversal extra-delay probability
+	JitterMax int     // max extra delay in time units (default 4)
+
+	// BurstEvery > 0 scales the profile by BurstScale every BurstEvery-th
+	// epoch (loss comes in storms, not as a stationary rate).
+	BurstEvery int
+	BurstScale float64 // default 2
+
+	// Reliable is the number of end-to-end reliable messages sent per epoch
+	// between random live pairs while the fabric is lossy; invariant I6
+	// checks the delivery ledger (exactly once each, nothing phantom).
+	Reliable int
+
 	Calls      int  // calls set up (and failure-checked) per epoch
 	NoElection bool // skip the per-epoch re-election invariant
 
@@ -54,6 +78,13 @@ func (cfg Config) Repro(topo string, n int) string {
 	fmt.Fprintf(&b, " -flaps %d -flaplen %d -partition-every %d -partition-heal %d -crashes %d -downtime %d -calls %d -leader-crash %g",
 		cfg.Flaps, max(1, cfg.FlapLen), cfg.PartitionEvery, max(1, cfg.PartitionHeal),
 		cfg.Crashes, max(1, cfg.Downtime), cfg.Calls, cfg.LeaderCrash)
+	if cfg.lossy() {
+		fmt.Fprintf(&b, " -loss %g -dup %g -corrupt %g -jitter %g -jittermax %d -reliable %d",
+			cfg.Loss, cfg.Dup, cfg.Corrupt, cfg.Jitter, cfg.jitterMax(), cfg.Reliable)
+		if cfg.BurstEvery > 0 {
+			fmt.Fprintf(&b, " -burst-every %d -burst-scale %g", cfg.BurstEvery, cfg.burstScale())
+		}
+	}
 	if cfg.MaxRounds > 0 {
 		fmt.Fprintf(&b, " -max-rounds %d", cfg.MaxRounds)
 	}
@@ -64,6 +95,39 @@ func (cfg Config) Repro(topo string, n int) string {
 		b.WriteString(" -no-election")
 	}
 	return b.String()
+}
+
+// msgFaults renders the configured base lossy-link profile.
+func (cfg Config) msgFaults() core.MsgFaults {
+	return core.MsgFaults{
+		Drop: cfg.Loss, Dup: cfg.Dup, Corrupt: cfg.Corrupt,
+		Jitter: cfg.Jitter, JitterMax: core.Time(cfg.jitterMax()),
+	}
+}
+
+// lossy reports whether any message-fault phase is configured.
+func (cfg Config) lossy() bool { return cfg.msgFaults().Enabled() || cfg.Reliable > 0 }
+
+func (cfg Config) jitterMax() int {
+	if cfg.JitterMax <= 0 {
+		return 4
+	}
+	return cfg.JitterMax
+}
+
+func (cfg Config) burstScale() float64 {
+	if cfg.BurstScale <= 0 {
+		return 2
+	}
+	return cfg.BurstScale
+}
+
+// schedule builds the per-epoch profile schedule from the config.
+func (cfg Config) schedule() MsgFaultSchedule {
+	if cfg.BurstEvery > 0 {
+		return BurstyFaults{Base: cfg.msgFaults(), Every: cfg.BurstEvery, Scale: cfg.burstScale()}
+	}
+	return ConstantFaults{P: cfg.msgFaults()}
 }
 
 func (cfg Config) runtime() string {
@@ -92,18 +156,34 @@ type Result struct {
 	CallsTorn   int // surviving calls torn down explicitly
 	ProbesSent  int
 	ProbesDown  int // probes over down links (must all be blocked)
+
+	// Reliable-delivery ledger totals (I6); all zero unless Config.Reliable
+	// is set. RelSent counts distinct ledger tokens, RelRetrans the extra
+	// frames the lossy fabric cost, RelDupes/RelBadSum the receiver-side
+	// discards that kept delivery exactly-once.
+	RelSent    int64
+	RelRetrans int64
+	RelDupes   int64
+	RelBadSum  int64
 }
 
 // OK reports whether every epoch held every invariant.
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
 // Line renders the run on one line (the byte-identical repro check target).
+// The reliable-ledger block only appears when the ledger ran, so fault-free
+// soak lines render exactly as they did before the lossy-link model existed.
 func (r *Result) Line() string {
-	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d) | %s",
+	rel := ""
+	if r.RelSent > 0 {
+		rel = fmt.Sprintf(" reliable(sent=%d retx=%d dup=%d badsum=%d)",
+			r.RelSent, r.RelRetrans, r.RelDupes, r.RelBadSum)
+	}
+	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d)%s | %s",
 		r.Epochs, len(r.Violations), r.FaultFlips, r.ConvRounds, r.ConvMax,
 		r.Elections, r.ReelectTime, r.ReelectMax, r.ReelectMsgs,
 		r.CallsSetUp, r.CallsFailed, r.CallsTorn, r.ProbesSent, r.ProbesDown,
-		r.Metrics)
+		rel, r.Metrics)
 }
 
 // probeCmd is injected at one endpoint of an edge: send a probeEcho across
@@ -137,11 +217,47 @@ func (b *probeBook) sawEcho(id int64) bool {
 	return b.echo[id]
 }
 
-// soakNode multiplexes one NCU between the topology maintainer and the call
-// manager (both ignore each other's payload types) and answers link probes.
+// relSend is injected at a sender: hand token to the reliable endpoint for
+// delivery to dst over route.
+type relSend struct {
+	Dst   core.NodeID
+	Route anr.Header
+	Token uint64
+}
+
+// relBook is the driver-side delivery ledger for invariant I6: it records, for
+// every ledger token, which nodes the reliable layer delivered it at (and how
+// often). Shared by all nodes of a run.
+type relBook struct {
+	mu  sync.Mutex
+	got map[uint64][]core.NodeID
+}
+
+func (b *relBook) deliver(at core.NodeID, token uint64) {
+	b.mu.Lock()
+	b.got[token] = append(b.got[token], at)
+	b.mu.Unlock()
+}
+
+func (b *relBook) deliveries(token uint64) []core.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]core.NodeID(nil), b.got[token]...)
+}
+
+func (b *relBook) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.got)
+}
+
+// soakNode multiplexes one NCU between the topology maintainer, the call
+// manager and the reliable-delivery endpoint (all ignore each other's payload
+// types), and answers link probes.
 type soakNode struct {
 	topo topology.Maintainer
 	mgr  *calls.Manager
+	rel  *reliable.Endpoint
 	book *probeBook
 }
 
@@ -156,7 +272,15 @@ func (s *soakNode) Deliver(env core.Env, pkt core.Packet) {
 		_ = env.Send(anr.Direct([]anr.ID{p.Link}), probeEcho{ID: p.ID})
 	case probeEcho:
 		s.book.hit(p.ID)
+	case relSend:
+		// Send errors surface as a lost frame; the ledger check catches it.
+		_ = s.rel.SendRoute(env, p.Dst, p.Route, p.Token)
 	default:
+		// The reliable endpoint consumes frames, acks, ticks — and Garbled,
+		// which every protocol here ignores anyway.
+		if s.rel.Deliver(env, pkt) {
+			return
+		}
 		s.topo.Deliver(env, pkt)
 		s.mgr.Deliver(env, pkt)
 	}
@@ -176,19 +300,22 @@ type callInfo struct {
 
 // soakRun is the per-run state of the driver.
 type soakRun struct {
-	cfg  Config
-	g    *graph.Graph
-	h    Harness
-	st   *State
-	rng  *rand.Rand
-	gens []Generator
-	wit  *Witness
-	book *probeBook
-	res  *Result
+	cfg   Config
+	g     *graph.Graph
+	h     Harness
+	st    *State
+	rng   *rand.Rand
+	gens  []Generator
+	sched MsgFaultSchedule
+	wit   *Witness
+	book  *probeBook
+	rel   *relBook
+	res   *Result
 
 	pend    map[int][]Event // soak-scheduled events (leader crashes)
 	callSeq calls.CallID
 	probeID int64
+	relSeq  uint64
 }
 
 // Soak runs the invariant-checked churn loop on g and reports the result.
@@ -202,13 +329,15 @@ func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 		cfg.Mode = topology.ModeBranching
 	}
 	r := &soakRun{
-		cfg:  cfg,
-		g:    g,
-		st:   NewState(g),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		book: &probeBook{echo: make(map[int64]bool)},
-		res:  &Result{},
-		pend: make(map[int][]Event),
+		cfg:   cfg,
+		g:     g,
+		st:    NewState(g),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sched: cfg.schedule(),
+		book:  &probeBook{echo: make(map[int64]bool)},
+		rel:   &relBook{got: make(map[uint64][]core.NodeID)},
+		res:   &Result{},
+		pend:  make(map[int][]Event),
 	}
 	if cfg.Adversary {
 		r.wit = &Witness{}
@@ -237,6 +366,14 @@ func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 		return &soakNode{
 			topo: topoFac(id).(topology.Maintainer),
 			mgr:  calls.New(id),
+			rel: reliable.NewEndpoint(id, reliable.Config{
+				RTO: 1,
+				OnDeliver: func(_ core.Env, _ core.NodeID, payload any) {
+					if token, ok := payload.(uint64); ok {
+						r.rel.deliver(id, token)
+					}
+				},
+			}),
 			book: r.book,
 		}
 	}
@@ -349,11 +486,22 @@ func (r *soakRun) run() error {
 
 // epoch runs one churn epoch; ok=false means an invariant failed and the
 // run should stop.
+//
+// With a lossy-link profile configured, message faults are live for the
+// phases whose invariants are loss-monotone: I1 convergence (loss only costs
+// rounds — the periodic broadcast retries), the I6 reliable-delivery ledger
+// (loss costs retransmissions) and the down-direction half of I4 (no fault
+// kind may carry a packet across a down link). Exact-state phases — call
+// setup and the failure-driven teardowns of applySchedule (a single lost
+// teardown legitimately strands hop state; the calls package's own tests
+// cover its loss behavior), I3's surviving-call audit, and up-direction
+// probes — run on a healed fabric.
 func (r *soakRun) epoch(epoch int) (bool, error) {
 	r.st.BeginEpoch()
 	if r.wit != nil {
 		r.wit.Reset()
 	}
+	profile := r.sched.Profile(epoch)
 
 	// Set up calls at quiescence so the failure-driven teardown invariant
 	// is exercised from a clean state.
@@ -379,7 +527,9 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 			e.U, e.V, r.st.EdgeDown(e.U, e.V), r.h.LinkUp(e.U, e.V))
 	}
 
-	// I1: topology databases re-converge to the ground truth.
+	// I1: topology databases re-converge to the ground truth — through the
+	// lossy fabric when a profile is configured.
+	r.h.SetMsgFaults(profile)
 	rounds, witness, err := r.convergeRounds()
 	if err != nil {
 		return false, err
@@ -392,6 +542,13 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 	if rounds > r.res.ConvMax {
 		r.res.ConvMax = rounds
 	}
+
+	// I6: the reliable-delivery ledger balances under loss. Leaves the
+	// fabric healed for the exact-state checks below.
+	if ok, err := r.checkReliable(epoch, profile); err != nil || !ok {
+		return ok, err
+	}
+	r.h.SetMsgFaults(core.MsgFaults{})
 
 	// I2: the largest live component elects exactly one leader whose
 	// domain covers the component.
@@ -407,7 +564,7 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 	}
 
 	// I4: no packet crosses a down link (and up links still carry).
-	if ok, err := r.checkProbes(epoch); err != nil || !ok {
+	if ok, err := r.checkProbes(epoch, profile); err != nil || !ok {
 		return ok, err
 	}
 
@@ -502,6 +659,125 @@ func (r *soakRun) setupCalls(epoch int) ([]callInfo, error) {
 		out = append(out, callInfo{id: id, caller: caller, path: path})
 	}
 	return out, nil
+}
+
+// checkReliable exercises invariant I6 ("every applied update was sent
+// exactly once"): cfg.Reliable ledger tokens are sent between random pairs of
+// the largest live component while the fabric is lossy, retransmission ticks
+// drive the ARQ through the loss, then the fabric heals and the remaining
+// backlog flushes. Every token must land at its destination exactly once —
+// no duplicate application past the dedup window, no phantom application
+// from a corrupted frame slipping the checksum — and no frame may still be
+// pending afterwards.
+func (r *soakRun) checkReliable(epoch int, profile core.MsgFaults) (bool, error) {
+	if r.cfg.Reliable <= 0 {
+		return true, nil
+	}
+	live := r.st.Live()
+	var comp []core.NodeID
+	for _, c := range live.Components() {
+		if len(c) > len(comp) {
+			comp = c
+		}
+	}
+	if len(comp) < 2 {
+		return true, nil
+	}
+	pm := r.h.PortMap()
+	type ledgerEntry struct {
+		token    uint64
+		src, dst core.NodeID
+	}
+	var batch []ledgerEntry
+	senders := make(map[core.NodeID]bool)
+	for i := 0; i < r.cfg.Reliable; i++ {
+		si := r.rng.Intn(len(comp))
+		di := r.rng.Intn(len(comp) - 1)
+		if di >= si {
+			di++
+		}
+		src, dst := comp[si], comp[di]
+		path := live.BFSTree(src).PathFromRoot(dst)
+		links, err := pm.RouteLinks(path)
+		if err != nil {
+			return false, fmt.Errorf("faults: routing ledger token: %w", err)
+		}
+		r.relSeq++
+		batch = append(batch, ledgerEntry{token: r.relSeq, src: src, dst: dst})
+		senders[src] = true
+		r.h.Inject(src, relSend{Dst: dst, Route: anr.Direct(links), Token: r.relSeq})
+	}
+	if err := r.h.Quiesce(); err != nil {
+		return false, err
+	}
+	// Tick injection order must be stable for discrete-event determinism.
+	order := make([]core.NodeID, 0, len(senders))
+	for u := range senders {
+		order = append(order, u)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	tick := func() error {
+		for _, u := range order {
+			r.h.Inject(u, reliable.Tick{})
+		}
+		return r.h.Quiesce()
+	}
+	backlog := func() int {
+		n := 0
+		for _, u := range order {
+			n += r.node(u).rel.Pending()
+		}
+		return n
+	}
+	// Retransmit through the loss for a few rounds, then heal and flush the
+	// rest; 64 ticks clears any backoff the lossy rounds piled up (the cap
+	// is 16 ticks at the default RTO of 1).
+	for t := 0; t < 8 && backlog() > 0; t++ {
+		if err := tick(); err != nil {
+			return false, err
+		}
+	}
+	r.h.SetMsgFaults(core.MsgFaults{})
+	for t := 0; t < 64 && backlog() > 0; t++ {
+		if err := tick(); err != nil {
+			return false, err
+		}
+	}
+	if n := backlog(); n > 0 {
+		r.violate(epoch, 6, "%d reliable frames still pending after the fabric healed", n)
+		return false, nil
+	}
+	for _, s := range batch {
+		got := r.rel.deliveries(s.token)
+		switch {
+		case len(got) == 0:
+			r.violate(epoch, 6, "ledger token %d (%d->%d) was never applied", s.token, s.src, s.dst)
+			return false, nil
+		case len(got) > 1:
+			r.violate(epoch, 6, "ledger token %d (%d->%d) applied %d times at %v", s.token, s.src, s.dst, len(got), got)
+			return false, nil
+		case got[0] != s.dst:
+			r.violate(epoch, 6, "ledger token %d (%d->%d) applied at wrong node %d", s.token, s.src, s.dst, got[0])
+			return false, nil
+		}
+	}
+	// Phantom sweep: the ledger may hold exactly the tokens ever sent. A
+	// corrupted frame that slipped verification would apply a token value
+	// nothing sent (or double-apply a real one — caught above).
+	if n := r.rel.size(); n != int(r.relSeq) {
+		r.violate(epoch, 6, "delivery ledger holds %d tokens, want the %d ever sent — phantom application", n, r.relSeq)
+		return false, nil
+	}
+	var sent, retx, dup, bad int64
+	for v := 0; v < r.g.N(); v++ {
+		st := r.node(core.NodeID(v)).rel.Stats()
+		sent += st.Sent
+		retx += st.Retransmits
+		dup += st.Duplicates
+		bad += st.BadSum
+	}
+	r.res.RelSent, r.res.RelRetrans, r.res.RelDupes, r.res.RelBadSum = sent, retx, dup, bad
+	return true, nil
 }
 
 // checkCalls verifies invariant I3: every call whose path was touched by a
@@ -623,22 +899,38 @@ func (r *soakRun) checkElection(epoch int) (bool, error) {
 
 // checkProbes verifies invariant I4 behaviorally: a probe across every down
 // link must be swallowed by the hardware, and a sample of up links must
-// still carry traffic.
-func (r *soakRun) checkProbes(epoch int) (bool, error) {
+// still carry traffic. Down-direction probes go out with the lossy profile
+// live — a duplicated or jittered copy must not cross a down link either —
+// while up-direction probes run healed (loss would legitimately eat them).
+func (r *soakRun) checkProbes(epoch int, profile core.MsgFaults) (bool, error) {
 	pm := r.h.PortMap()
 	type probe struct {
 		id   int64
 		e    graph.Edge
 		want bool // expect the echo to arrive
 	}
-	var probes []probe
+	send := func(probes []probe) error {
+		for _, p := range probes {
+			link, ok := pm.Toward(p.e.U, p.e.V)
+			if !ok {
+				return fmt.Errorf("faults: no port %d->%d", p.e.U, p.e.V)
+			}
+			r.h.Inject(p.e.U, probeCmd{Link: link, ID: p.id})
+			r.res.ProbesSent++
+			if !p.want {
+				r.res.ProbesDown++
+			}
+		}
+		return r.h.Quiesce()
+	}
+	var downProbes, upProbes []probe
 	down := r.st.DownEdges()
 	if len(down) > 64 {
 		down = down[:64]
 	}
 	for _, e := range down {
 		r.probeID++
-		probes = append(probes, probe{id: r.probeID, e: e, want: false})
+		downProbes = append(downProbes, probe{id: r.probeID, e: e, want: false})
 	}
 	up := r.st.UpEdges()
 	for i := 0; i < 16 && len(up) > 0; i++ {
@@ -646,23 +938,17 @@ func (r *soakRun) checkProbes(epoch int) (bool, error) {
 		e := up[j]
 		up = append(up[:j], up[j+1:]...)
 		r.probeID++
-		probes = append(probes, probe{id: r.probeID, e: e, want: true})
+		upProbes = append(upProbes, probe{id: r.probeID, e: e, want: true})
 	}
-	for _, p := range probes {
-		link, ok := pm.Toward(p.e.U, p.e.V)
-		if !ok {
-			return false, fmt.Errorf("faults: no port %d->%d", p.e.U, p.e.V)
-		}
-		r.h.Inject(p.e.U, probeCmd{Link: link, ID: p.id})
-		r.res.ProbesSent++
-		if !p.want {
-			r.res.ProbesDown++
-		}
-	}
-	if err := r.h.Quiesce(); err != nil {
+	r.h.SetMsgFaults(profile)
+	if err := send(downProbes); err != nil {
 		return false, err
 	}
-	for _, p := range probes {
+	r.h.SetMsgFaults(core.MsgFaults{})
+	if err := send(upProbes); err != nil {
+		return false, err
+	}
+	for _, p := range append(downProbes, upProbes...) {
 		got := r.book.sawEcho(p.id)
 		if got && !p.want {
 			r.violate(epoch, 4, "packet crossed down link %d-%d", p.e.U, p.e.V)

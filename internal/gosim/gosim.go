@@ -32,6 +32,7 @@ type config struct {
 	dmax   int
 	sink   trace.Sink
 	filter core.HopFilter
+	faults core.MsgFaults
 }
 
 // Option configures a Network.
@@ -51,6 +52,13 @@ func WithTrace(s trace.Sink) Option { return func(c *config) { c.sink = s } }
 // concurrent use: sends from different nodes run in parallel.
 func WithHopFilter(f core.HopFilter) Option { return func(c *config) { c.filter = f } }
 
+// WithMsgFaults enables the lossy-link model: each live-link traversal may
+// drop, duplicate, corrupt, or reorder the packet per the profile. Rolls are
+// serialized over one seeded source; under the Go scheduler's inherent
+// nondeterminism this runtime samples fault placements rather than
+// replaying them.
+func WithMsgFaults(f core.MsgFaults) Option { return func(c *config) { c.faults = f } }
+
 // Network is a running goroutine network.
 type Network struct {
 	g   *graph.Graph
@@ -60,6 +68,10 @@ type Network struct {
 	mu   sync.RWMutex // guards down
 	down map[graph.Edge]bool
 
+	faultMu  sync.Mutex // guards faults + faultRng
+	faults   core.MsgFaults
+	faultRng *rand.Rand
+
 	nodes []*gnode
 	wg    sync.WaitGroup
 
@@ -67,18 +79,22 @@ type Network struct {
 	quiesceMu sync.Mutex
 	quiesceC  *sync.Cond
 
-	hops       atomic.Int64
-	deliveries atomic.Int64
-	copies     atomic.Int64
-	injections atomic.Int64
-	linkEvents atomic.Int64
-	sends      atomic.Int64
-	packets    atomic.Int64
-	drops      atomic.Int64
-	dmaxViol   atomic.Int64
-	headerBits atomic.Int64
-	maxHdrHops atomic.Int64
-	filtered   atomic.Int64
+	hops        atomic.Int64
+	deliveries  atomic.Int64
+	copies      atomic.Int64
+	injections  atomic.Int64
+	linkEvents  atomic.Int64
+	sends       atomic.Int64
+	packets     atomic.Int64
+	drops       atomic.Int64
+	dmaxViol    atomic.Int64
+	headerBits  atomic.Int64
+	maxHdrHops  atomic.Int64
+	filtered    atomic.Int64
+	faultDrops  atomic.Int64
+	faultDups   atomic.Int64
+	faultCorr   atomic.Int64
+	faultJitter atomic.Int64
 	perNode    []atomic.Int64
 	actSeq     atomic.Int64
 	msgSeq     atomic.Int64
@@ -91,6 +107,9 @@ type item struct {
 	port      core.Port
 	msg       int64
 	isCopy    bool
+	// reorder marks deliveries behind a jitter fault: they are enqueued at
+	// a random inbox position instead of the tail (bounded reordering).
+	reorder bool
 }
 
 type gnode struct {
@@ -123,12 +142,14 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 	}
 	pm := core.NewPortMap(g)
 	net := &Network{
-		g:       g,
-		pm:      pm,
-		cfg:     cfg,
-		down:    make(map[graph.Edge]bool),
-		nodes:   make([]*gnode, g.N()),
-		perNode: make([]atomic.Int64, g.N()),
+		g:        g,
+		pm:       pm,
+		cfg:      cfg,
+		down:     make(map[graph.Edge]bool),
+		faults:   cfg.faults,
+		faultRng: rand.New(rand.NewSource(cfg.seed ^ 0x10551e5)),
+		nodes:    make([]*gnode, g.N()),
+		perNode:  make([]atomic.Int64, g.N()),
 	}
 	net.quiesceC = sync.NewCond(&net.quiesceMu)
 	for i := range net.nodes {
@@ -211,6 +232,21 @@ func (net *Network) InjectLink(u, v core.NodeID, up bool) {
 	net.SetLink(u, v, up)
 }
 
+// SetMsgFaults replaces the lossy-link profile, effective for subsequent
+// sends. Safe for concurrent use.
+func (net *Network) SetMsgFaults(f core.MsgFaults) {
+	net.faultMu.Lock()
+	net.faults = f
+	net.faultMu.Unlock()
+}
+
+// MsgFaults returns the active lossy-link profile.
+func (net *Network) MsgFaults() core.MsgFaults {
+	net.faultMu.Lock()
+	defer net.faultMu.Unlock()
+	return net.faults
+}
+
 // CrashNode fails every link incident to v (the model's node failure: an
 // inactive node is one all of whose links are inactive).
 func (net *Network) CrashNode(v core.NodeID) {
@@ -276,6 +312,10 @@ func (net *Network) Metrics() core.Metrics {
 		HeaderBits:     net.headerBits.Load(),
 		MaxHeaderHops:  net.maxHdrHops.Load(),
 		Filtered:       net.filtered.Load(),
+		FaultDrops:     net.faultDrops.Load(),
+		FaultDups:      net.faultDups.Load(),
+		FaultCorrupts:  net.faultCorr.Load(),
+		FaultJitters:   net.faultJitter.Load(),
 	}
 }
 
@@ -340,9 +380,25 @@ func (net *Network) loop(nd *gnode) {
 
 func (nd *gnode) enqueue(it item) {
 	nd.mu.Lock()
-	nd.queue = append(nd.queue, it)
+	if it.reorder && len(nd.queue) > 0 {
+		// Bounded reordering: a jittered delivery overtakes a random run of
+		// already-queued packets instead of joining the tail.
+		at := nd.env.net.randomQueuePos(len(nd.queue))
+		nd.queue = append(nd.queue, item{})
+		copy(nd.queue[at+1:], nd.queue[at:])
+		nd.queue[at] = it
+	} else {
+		nd.queue = append(nd.queue, it)
+	}
 	nd.cond.Broadcast()
 	nd.mu.Unlock()
+}
+
+// randomQueuePos draws an insertion index in [0, n] from the fault source.
+func (net *Network) randomQueuePos(n int) int {
+	net.faultMu.Lock()
+	defer net.faultMu.Unlock()
+	return net.faultRng.Intn(n + 1)
 }
 
 // route performs the hardware traversal synchronously and enqueues the
@@ -355,19 +411,58 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 		net.dmaxViol.Add(1)
 		return err
 	}
-	net.mu.RLock()
-	tr, err := core.WalkRouteFiltered(net.pm, func(u core.NodeID, l anr.ID) bool {
+	msg := net.msgSeq.Add(1)
+	linkUp := func(u core.NodeID, l anr.ID) bool {
 		p, rerr := net.pm.Resolve(u, l)
 		if rerr != nil {
 			return false
 		}
 		return !net.down[graph.Edge{U: u, V: p.Remote}.Canon()]
-	}, net.cfg.filter, src, h, payload)
+	}
+	// The lossy-link roller serializes rolls over the shared fault source;
+	// fault trace events are emitted inline so they carry the message ID.
+	var roll core.FaultRoller
+	net.faultMu.Lock()
+	faults := net.faults
+	net.faultMu.Unlock()
+	if faults.Enabled() {
+		roll = func(at core.NodeID) core.MsgFault {
+			net.faultMu.Lock()
+			f := faults.Roll(net.faultRng)
+			net.faultMu.Unlock()
+			switch f {
+			case core.FaultDrop:
+				net.faultDrops.Add(1)
+			case core.FaultDup:
+				net.faultDups.Add(1)
+			case core.FaultCorrupt:
+				net.faultCorr.Add(1)
+			case core.FaultJitter:
+				net.faultJitter.Add(1)
+			}
+			if f != core.FaultNone {
+				kind := map[core.MsgFault]trace.Kind{
+					core.FaultDrop:    trace.KindFaultDrop,
+					core.FaultDup:     trace.KindFaultDup,
+					core.FaultCorrupt: trace.KindFaultCorrupt,
+					core.FaultJitter:  trace.KindFaultJitter,
+				}[f]
+				net.cfg.sink.Record(trace.Event{Kind: kind, Time: act, Node: at, Msg: msg, Cause: f.String()})
+			}
+			return f
+		}
+	}
+	corrupt := func(pl any) any {
+		net.faultMu.Lock()
+		defer net.faultMu.Unlock()
+		return core.CorruptPayload(pl, net.faultRng)
+	}
+	net.mu.RLock()
+	tr, err := core.WalkRouteFaults(net.pm, linkUp, net.cfg.filter, roll, corrupt, src, h, payload)
 	net.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	msg := net.msgSeq.Add(1)
 	net.packets.Add(1)
 	net.hops.Add(int64(tr.Hops))
 	hdrHops := int64(h.HopCount())
@@ -388,17 +483,22 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: act, Node: tr.DroppedAt, Msg: msg})
 	}
 	for _, d := range tr.Deliveries {
+		pl := payload
+		if d.Payload != nil {
+			pl = d.Payload
+		}
 		net.addInflight(1)
 		net.nodes[d.Node].enqueue(item{
 			pkt: core.Packet{
-				Payload:     payload,
+				Payload:     pl,
 				Remaining:   d.Remaining,
 				Reverse:     d.Reverse,
 				ArrivedOn:   d.ArrivedOn,
 				ForwardedOn: d.ForwardedOn,
 			},
-			msg:    msg,
-			isCopy: d.Copy,
+			msg:     msg,
+			isCopy:  d.Copy,
+			reorder: d.Reordered,
 		})
 	}
 	return nil

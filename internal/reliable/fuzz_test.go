@@ -1,0 +1,71 @@
+package reliable
+
+import (
+	"fmt"
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/sim"
+)
+
+// FuzzReliableDelivery throws randomized lossy-link schedules at the
+// end-to-end layer and checks its two safety properties always hold:
+// never a duplicate delivery, never a phantom delivery — and, after a
+// fault-free flush, liveness: everything not aborted arrives.
+func FuzzReliableDelivery(f *testing.F) {
+	f.Add(int64(1), byte(30), byte(15), byte(10), byte(10), byte(5))
+	f.Add(int64(42), byte(0), byte(0), byte(0), byte(0), byte(1))
+	f.Add(int64(7), byte(90), byte(90), byte(90), byte(90), byte(8))
+	f.Add(int64(-3), byte(100), byte(0), byte(100), byte(0), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, drop, dup, corrupt, jitter, nmsgs byte) {
+		// Percent-encoded probabilities, capped so the partitioned roll stays
+		// a valid distribution; short routes bound dup branching.
+		faults := core.MsgFaults{
+			Drop:      float64(drop%101) / 100,
+			Dup:       float64(dup%101) / 100,
+			Corrupt:   float64(corrupt%101) / 100,
+			Jitter:    float64(jitter%101) / 100,
+			JitterMax: 4,
+		}
+		total := faults.Drop + faults.Dup + faults.Corrupt + faults.Jitter
+		if total > 1 {
+			faults = faults.Scale(1 / total)
+		}
+		n := int(nmsgs%12) + 1
+
+		var got []any
+		cfg := Config{RTO: 1, MaxBackoff: 4}
+		cfg.OnDeliver = func(_ core.Env, _ core.NodeID, payload any) {
+			got = append(got, payload)
+		}
+		net, nodes := buildSim(t, 3, faults, cfg, sim.WithSeed(seed), sim.WithEventBudget(2_000_000))
+		for i := 0; i < n; i++ {
+			net.Inject(net.Now()+1, 0, sendCmd{dst: 2, payload: fmt.Sprintf("m%d", i)})
+			if _, err := net.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		driveTicks(t, net, 0, 16)
+		net.SetMsgFaults(core.MsgFaults{})
+		driveTicks(t, net, 0, 64)
+
+		if p := nodes[0].E.Pending(); p != 0 {
+			t.Fatalf("%d frames pending after fault-free flush (seed=%d faults=%v)", p, seed, faults)
+		}
+		seen := make(map[any]bool)
+		for _, p := range got {
+			if seen[p] {
+				t.Fatalf("duplicate delivery of %v (seed=%d faults=%v)", p, seed, faults)
+			}
+			seen[p] = true
+		}
+		st := nodes[0].E.Stats()
+		if int(st.Acked+st.Aborted) != n {
+			t.Fatalf("acked(%d)+aborted(%d) != sent(%d)", st.Acked, st.Aborted, n)
+		}
+		// No aborts are configured (Deadline=0), so everything must land.
+		if len(seen) != n {
+			t.Fatalf("delivered %d distinct payloads, want %d (seed=%d faults=%v)", len(seen), n, seed, faults)
+		}
+	})
+}

@@ -1,0 +1,394 @@
+// Package reliable implements end-to-end reliable delivery of ANR-routed
+// control messages on the fastnet model.
+//
+// The paper's §2 assumes the data-link layer makes every link either reliable
+// or declared down. The lossy-link model (core.MsgFaults) withdraws that
+// assumption: packets may be dropped, duplicated, corrupted or reordered in
+// flight even on "up" links. This package restores exactly-once delivery in
+// software, at measurable cost in the paper's own measures: every
+// retransmission is extra hops (communication complexity) and every ack is an
+// extra NCU activation (system-call complexity). Experiment E21 charts that
+// overhead against the loss rate.
+//
+// Mechanics, all standard ARQ adapted to the model's constraints:
+//
+//   - Per-destination sequence numbers stamp every frame; the receiver keeps a
+//     dedup window per source (contiguous floor + sparse set above it), so
+//     fault-injected duplicates and retransmission races deliver at most once.
+//   - Every frame carries an FNV-1a checksum over (src, dst, seq, payload
+//     digest); corrupted frames fail verification and are dropped silently —
+//     exactly what a damaged header CRC would do.
+//   - Acks ride the hardware reverse route (pkt.Reverse, the paper's §2
+//     reverse-path facility), so the receiver needs no routing knowledge.
+//   - NCUs have no timers in this model: retransmission is driven by Tick
+//     packets the driver injects (mirroring topology.Trigger). Each pending
+//     frame backs off exponentially, with jitter drawn from Env.Rand() so
+//     synchronized losses don't resynchronize retransmissions.
+//   - A per-frame delivery deadline (in ticks) bounds the retry effort: when
+//     it expires the frame is aborted and reported, modeling the "declare the
+//     destination unreachable" escape hatch every end-to-end protocol needs.
+package reliable
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// Frame is one reliably-tracked message in flight. Frames are immutable after
+// send (receivers may see the same value repeatedly through duplicates).
+type Frame struct {
+	Src core.NodeID
+	Dst core.NodeID
+	Seq uint64
+	// Sum is the FNV-1a checksum over (Src, Dst, Seq, payload digest);
+	// receivers verify it before any state change.
+	Sum     uint64
+	Payload any
+}
+
+// CorruptedCopy implements core.Corruptible: link corruption damages the
+// checksum and sequence fields the way real bit rot would, giving receiver
+// verification something to reject instead of replacing the frame wholesale.
+func (f *Frame) CorruptedCopy(r *rand.Rand) any {
+	c := *f
+	c.Sum ^= 1 + uint64(r.Int63())
+	if r.Intn(2) == 0 {
+		c.Seq ^= 1 << uint(r.Intn(16))
+	}
+	return &c
+}
+
+// Ack confirms receipt of one frame; it flows back over the hardware reverse
+// route. Acks carry their own checksum: a corrupted ack must not confirm
+// anything.
+type Ack struct {
+	Src core.NodeID // the frame's destination (ack sender)
+	Dst core.NodeID // the frame's source (ack receiver)
+	Seq uint64
+	Sum uint64
+}
+
+// CorruptedCopy implements core.Corruptible.
+func (a *Ack) CorruptedCopy(r *rand.Rand) any {
+	c := *a
+	c.Sum ^= 1 + uint64(r.Int63())
+	return &c
+}
+
+// Tick drives retransmission: the driver injects it periodically (the model
+// gives NCUs no timers; compare topology.Trigger). Each Tick is one unit of
+// the endpoint's retransmission clock.
+type Tick struct{}
+
+// Router supplies the route for one delivery attempt. attempt is 0 for the
+// original send and increments per retransmission, so implementations can
+// switch to an alternate path when the primary keeps losing. Returning ok =
+// false aborts the frame immediately (no route available).
+type Router func(dst core.NodeID, attempt int) (anr.Header, bool)
+
+// Stats counts the endpoint's software effort. All fields are cumulative.
+type Stats struct {
+	Sent        int64 // distinct payloads accepted for delivery
+	Retransmits int64 // frames re-sent after a timeout
+	Delivered   int64 // payloads handed to the application (exactly once each)
+	Duplicates  int64 // frames discarded by the dedup window
+	BadSum      int64 // frames or acks discarded by checksum verification
+	Acked       int64 // pending frames confirmed
+	DupAcks     int64 // acks for frames no longer pending
+	Aborted     int64 // frames that hit their delivery deadline
+	Garbled     int64 // unparseable frames (whole-payload corruption)
+}
+
+// pending tracks one unacked frame at the sender.
+type pending struct {
+	frame    *Frame
+	route    anr.Header
+	attempt  int   // delivery attempts made so far (1 after the first send)
+	nextAt   int64 // tick count at which to retransmit
+	backoff  int64 // current backoff interval in ticks
+	deadline int64 // tick count at which to abort (0 = never)
+}
+
+// Config parameterizes an Endpoint. The zero value is usable: RTO 1 tick,
+// unbounded backoff doubling capped at MaxBackoff, no deadline.
+type Config struct {
+	// RTO is the initial retransmission timeout in ticks (default 1).
+	RTO int64
+	// MaxBackoff caps the exponential backoff in ticks (default 16*RTO).
+	MaxBackoff int64
+	// Deadline aborts a frame this many ticks after first send; 0 disables.
+	Deadline int64
+	// OnDeliver receives each payload exactly once, in arrival order.
+	OnDeliver func(env core.Env, src core.NodeID, payload any)
+	// OnAbort is called when a frame hits its deadline.
+	OnAbort func(env core.Env, f *Frame)
+	// Route supplies per-attempt routes. Required for Send; SendRoute
+	// bypasses it for attempt 0 and falls back to it for retransmissions
+	// when non-nil.
+	Route Router
+}
+
+// recvState is the per-source dedup window.
+type recvState struct {
+	// floor: all seqs <= floor have been delivered.
+	floor uint64
+	// above holds delivered seqs > floor (sparse, pruned as floor advances).
+	above map[uint64]bool
+}
+
+// Endpoint is the per-node reliable-delivery state machine. It is not itself
+// a core.Protocol — it is embedded in one (see Node) so hosts can multiplex
+// it with other traffic. All methods must be called from protocol callbacks
+// (activations are serialized per node), mirroring every other protocol in
+// this repo.
+type Endpoint struct {
+	id  core.NodeID
+	cfg Config
+
+	nextSeq map[core.NodeID]uint64
+	pend    map[core.NodeID]map[uint64]*pending
+	recv    map[core.NodeID]*recvState
+	ticks   int64
+	stats   Stats
+}
+
+// NewEndpoint returns the endpoint for one node.
+func NewEndpoint(id core.NodeID, cfg Config) *Endpoint {
+	if cfg.RTO <= 0 {
+		cfg.RTO = 1
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 16 * cfg.RTO
+	}
+	return &Endpoint{
+		id:      id,
+		cfg:     cfg,
+		nextSeq: make(map[core.NodeID]uint64),
+		pend:    make(map[core.NodeID]map[uint64]*pending),
+		recv:    make(map[core.NodeID]*recvState),
+	}
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Pending returns the number of unacked frames.
+func (e *Endpoint) Pending() int {
+	n := 0
+	for _, m := range e.pend {
+		n += len(m)
+	}
+	return n
+}
+
+// checksum digests the frame identity and payload. Payload digesting goes
+// through fmt: control payloads in this codebase are small value-ish structs
+// whose %v rendering pins their content well enough for a fault model that
+// flips bits via CorruptedCopy (typed corruption damages Sum/Seq directly, so
+// verification never depends on digesting arbitrary depth).
+func checksum(src, dst core.NodeID, seq uint64, payload any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%v", src, dst, seq, payload)
+	return h.Sum64()
+}
+
+func ackSum(src, dst core.NodeID, seq uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "ack|%d|%d|%d", src, dst, seq)
+	return h.Sum64()
+}
+
+// Send queues payload for reliable delivery to dst, routing via cfg.Route.
+func (e *Endpoint) Send(env core.Env, dst core.NodeID, payload any) error {
+	if e.cfg.Route == nil {
+		return fmt.Errorf("reliable: no Router configured")
+	}
+	route, ok := e.cfg.Route(dst, 0)
+	if !ok {
+		return fmt.Errorf("reliable: no route to node %d", dst)
+	}
+	return e.SendRoute(env, dst, route, payload)
+}
+
+// SendRoute queues payload for reliable delivery to dst over an explicit
+// first-attempt route. Retransmissions re-route through cfg.Route when set
+// (so attempt >= 1 can divert to an alternate path) and reuse route otherwise.
+func (e *Endpoint) SendRoute(env core.Env, dst core.NodeID, route anr.Header, payload any) error {
+	seq := e.nextSeq[dst] + 1
+	e.nextSeq[dst] = seq
+	f := &Frame{Src: e.id, Dst: dst, Seq: seq, Payload: payload}
+	f.Sum = checksum(f.Src, f.Dst, f.Seq, f.Payload)
+	p := &pending{frame: f, route: route, backoff: e.cfg.RTO}
+	if e.cfg.Deadline > 0 {
+		p.deadline = e.ticks + e.cfg.Deadline
+	}
+	if m := e.pend[dst]; m == nil {
+		e.pend[dst] = map[uint64]*pending{seq: p}
+	} else {
+		m[seq] = p
+	}
+	e.stats.Sent++
+	e.transmit(env, p)
+	return nil
+}
+
+// transmit sends one attempt of p and schedules the next timeout with
+// exponential backoff plus one tick of rng jitter.
+func (e *Endpoint) transmit(env core.Env, p *pending) {
+	p.attempt++
+	// Send errors (route through a down first link, dmax) are treated like
+	// loss: the timeout path retries, possibly over an alternate route.
+	_ = env.Send(p.route, p.frame)
+	jitter := int64(env.Rand().Intn(int(e.cfg.RTO) + 1))
+	p.nextAt = e.ticks + p.backoff + jitter
+	p.backoff = min(2*p.backoff, e.cfg.MaxBackoff)
+}
+
+// Tick advances the retransmission clock one unit: due frames retransmit,
+// expired frames abort. Destinations and sequences are visited in sorted
+// order so discrete-event runs replay exactly.
+func (e *Endpoint) Tick(env core.Env) {
+	e.ticks++
+	dsts := make([]core.NodeID, 0, len(e.pend))
+	for d := range e.pend {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		m := e.pend[d]
+		seqs := make([]uint64, 0, len(m))
+		for s := range m {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			p := m[s]
+			if p.deadline > 0 && e.ticks >= p.deadline {
+				delete(m, s)
+				e.stats.Aborted++
+				if e.cfg.OnAbort != nil {
+					e.cfg.OnAbort(env, p.frame)
+				}
+				continue
+			}
+			if e.ticks < p.nextAt {
+				continue
+			}
+			if e.cfg.Route != nil {
+				if r, ok := e.cfg.Route(d, p.attempt); ok {
+					p.route = r
+				}
+			}
+			e.stats.Retransmits++
+			e.transmit(env, p)
+		}
+		if len(m) == 0 {
+			delete(e.pend, d)
+		}
+	}
+}
+
+// Deliver feeds the endpoint one received payload. It returns true if the
+// payload was a reliable-layer message (frame or ack) and was consumed; false
+// means the payload belongs to some other protocol sharing the node.
+func (e *Endpoint) Deliver(env core.Env, pkt core.Packet) bool {
+	switch msg := pkt.Payload.(type) {
+	case *Frame:
+		e.onFrame(env, pkt, msg)
+		return true
+	case *Ack:
+		e.onAck(msg)
+		return true
+	case core.Garbled:
+		// An unparseable frame: physically arrived, protocol-invisible.
+		e.stats.Garbled++
+		return true
+	case Tick:
+		e.Tick(env)
+		return true
+	default:
+		return false
+	}
+}
+
+// onFrame verifies, dedups, delivers, and always acks (re-acking duplicates
+// is what heals a lost ack).
+func (e *Endpoint) onFrame(env core.Env, pkt core.Packet, f *Frame) {
+	if f.Dst != e.id || f.Sum != checksum(f.Src, f.Dst, f.Seq, f.Payload) {
+		e.stats.BadSum++
+		return
+	}
+	st := e.recv[f.Src]
+	if st == nil {
+		st = &recvState{above: make(map[uint64]bool)}
+		e.recv[f.Src] = st
+	}
+	fresh := f.Seq > st.floor && !st.above[f.Seq]
+	if fresh {
+		st.above[f.Seq] = true
+		for st.above[st.floor+1] {
+			st.floor++
+			delete(st.above, st.floor)
+		}
+		e.stats.Delivered++
+		if e.cfg.OnDeliver != nil {
+			e.cfg.OnDeliver(env, f.Src, f.Payload)
+		}
+	} else {
+		e.stats.Duplicates++
+	}
+	// Ack over the hardware reverse route — even for duplicates: the dup may
+	// mean our previous ack was lost.
+	ack := &Ack{Src: e.id, Dst: f.Src, Seq: f.Seq, Sum: ackSum(e.id, f.Src, f.Seq)}
+	_ = env.Send(pkt.Reverse, ack)
+}
+
+// onAck retires the pending frame the ack names.
+func (e *Endpoint) onAck(a *Ack) {
+	if a.Dst != e.id || a.Sum != ackSum(a.Src, a.Dst, a.Seq) {
+		e.stats.BadSum++
+		return
+	}
+	m := e.pend[a.Src]
+	if m == nil || m[a.Seq] == nil {
+		e.stats.DupAcks++
+		return
+	}
+	delete(m, a.Seq)
+	if len(m) == 0 {
+		delete(e.pend, a.Src)
+	}
+	e.stats.Acked++
+}
+
+// Node wraps an Endpoint as a standalone core.Protocol for hosts that run
+// only reliable traffic (tests, the soak ledger, experiment E21). Payloads
+// the endpoint doesn't recognize are ignored.
+type Node struct {
+	E *Endpoint
+}
+
+// NewNode builds the protocol instance for one node.
+func NewNode(id core.NodeID, cfg Config) *Node {
+	return &Node{E: NewEndpoint(id, cfg)}
+}
+
+var _ core.Protocol = (*Node)(nil)
+
+// Init implements core.Protocol.
+func (n *Node) Init(core.Env) {}
+
+// Deliver implements core.Protocol.
+func (n *Node) Deliver(env core.Env, pkt core.Packet) {
+	n.E.Deliver(env, pkt)
+}
+
+// LinkEvent implements core.Protocol. Link state is the Router's concern
+// (routes are recomputed per attempt); the endpoint itself holds no
+// topology.
+func (n *Node) LinkEvent(core.Env, core.Port) {}

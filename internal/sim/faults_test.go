@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/trace"
+)
+
+// TestMsgFaultsDeterministicPerSeed is the acceptance check for the lossy-link
+// model on the DES runtime: with message faults enabled, the run must remain a
+// pure function of the seed — identical trace and identical metrics across two
+// runs, including the fault events themselves.
+func TestMsgFaultsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) ([]trace.Event, core.Metrics) {
+		g := graph.Ring(8)
+		buf := trace.NewBuffer()
+		net := New(g, func(id core.NodeID) core.Protocol {
+			return &forwarder{}
+		}, WithDelays(4, 6), WithRandomDelays(), WithSeed(seed), WithTrace(buf),
+			WithMsgFaults(core.MsgFaults{Drop: 0.1, Dup: 0.1, Corrupt: 0.1, Jitter: 0.1, JitterMax: 9}))
+		net.Inject(0, 0, 40)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events(), net.Metrics()
+	}
+	evA, mA := run(7)
+	evB, mB := run(7)
+	if mA != mB {
+		t.Fatalf("same seed produced different metrics:\n%v\n%v", mA, mB)
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatalf("same seed produced different traces (%d vs %d events)", len(evA), len(evB))
+	}
+	if mA.FaultDrops+mA.FaultDups+mA.FaultCorrupts+mA.FaultJitters == 0 {
+		t.Fatal("fault profile never fired; test exercises nothing")
+	}
+	evC, mC := run(8)
+	if reflect.DeepEqual(evA, evC) && mA == mC {
+		t.Fatal("different seeds produced identical runs; fault stream not seeded")
+	}
+}
+
+// TestMsgFaultsDropLosesPacket: with Drop=1 every live traversal kills the
+// packet at its first link, so nothing is delivered and the loss is recorded
+// under FaultDrops with a cause-tagged trace event.
+func TestMsgFaultsDropLosesPacket(t *testing.T) {
+	g := graph.Path(2)
+	buf := trace.NewBuffer()
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithTrace(buf), WithMsgFaults(core.MsgFaults{Drop: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.got) != 0 {
+		t.Fatalf("delivered %v despite Drop=1", col.got)
+	}
+	m := net.Metrics()
+	if m.FaultDrops != 1 || m.Drops != 0 {
+		t.Fatalf("FaultDrops=%d Drops=%d, want 1/0", m.FaultDrops, m.Drops)
+	}
+	found := false
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindFaultDrop {
+			found = true
+			if e.Cause != "drop" || e.Node != 0 {
+				t.Fatalf("fault event = %+v, want cause=drop node=0", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no KindFaultDrop event recorded")
+	}
+}
+
+// TestMsgFaultsDupDeliversTwice: Dup=1 on a one-link route duplicates the
+// single traversal, so the receiver sees the payload twice and both hardware
+// hops are charged.
+func TestMsgFaultsDupDeliversTwice(t *testing.T) {
+	g := graph.Path(2)
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithMsgFaults(core.MsgFaults{Dup: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.got) != 2 {
+		t.Fatalf("got %d deliveries, want 2 (original + duplicate)", len(col.got))
+	}
+	m := net.Metrics()
+	if m.FaultDups != 1 || m.Hops != 2 {
+		t.Fatalf("FaultDups=%d Hops=%d, want 1/2", m.FaultDups, m.Hops)
+	}
+}
+
+// TestMsgFaultsCorruptGarblesPayload: a payload type with no Corruptible
+// implementation is replaced by core.Garbled, which a type-switching protocol
+// silently ignores — corruption can never fabricate protocol state.
+func TestMsgFaultsCorruptGarblesPayload(t *testing.T) {
+	g := graph.Path(2)
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithMsgFaults(core.MsgFaults{Corrupt: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.got) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(col.got))
+	}
+	if _, ok := col.got[0].(core.Garbled); !ok {
+		t.Fatalf("payload = %#v, want core.Garbled", col.got[0])
+	}
+	if net.Metrics().FaultCorrupts != 1 {
+		t.Fatalf("FaultCorrupts = %d, want 1", net.Metrics().FaultCorrupts)
+	}
+}
+
+// TestSetMsgFaultsMidRun: toggling the profile off stops perturbation without
+// disturbing determinism of the remaining schedule.
+func TestSetMsgFaultsMidRun(t *testing.T) {
+	g := graph.Path(2)
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithMsgFaults(core.MsgFaults{Drop: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := anr.Direct(links)
+	net.nodes[0].proto = &pingProto{route: route}
+	net.Inject(0, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.got) != 0 {
+		t.Fatal("Drop=1 phase delivered a packet")
+	}
+	net.SetMsgFaults(core.MsgFaults{})
+	net.Inject(net.Now()+1, 0, "go")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.got) != 1 {
+		t.Fatalf("fault-free phase delivered %d packets, want 1", len(col.got))
+	}
+}

@@ -33,6 +33,7 @@ type config struct {
 	sink        trace.Sink
 	eventBudget int64
 	filter      core.HopFilter
+	faults      core.MsgFaults
 }
 
 // Option configures a Network.
@@ -82,6 +83,14 @@ func WithHopFilter(f core.HopFilter) Option {
 	return func(cf *config) { cf.filter = f }
 }
 
+// WithMsgFaults enables the lossy-link model: each live-link traversal may
+// drop, duplicate, corrupt, or delay the packet per the profile. All rolls
+// come from a dedicated source derived from the seed, so runs stay
+// reproducible bit for bit.
+func WithMsgFaults(f core.MsgFaults) Option {
+	return func(cf *config) { cf.faults = f }
+}
+
 // Network is a simulated network: a graph, one protocol instance per node,
 // and the event queue.
 type Network struct {
@@ -91,9 +100,10 @@ type Network struct {
 	queue eventQueue
 	seq   uint64
 	now   core.Time
-	nodes []*node
-	down  map[graph.Edge]bool
-	rng   *rand.Rand // network-level source (hardware delays)
+	nodes    []*node
+	down     map[graph.Edge]bool
+	rng      *rand.Rand // network-level source (hardware delays)
+	faultRng *rand.Rand // lossy-link rolls (separate stream: enabling faults must not perturb delay draws)
 
 	metrics    core.Metrics
 	perNode    []int64     // deliveries per node
@@ -135,14 +145,15 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 	}
 	pm := core.NewPortMap(g)
 	net := &Network{
-		g:       g,
-		pm:      pm,
-		cfg:     cfg,
-		down:    make(map[graph.Edge]bool),
-		rng:     rand.New(rand.NewSource(cfg.seed)),
-		nodes:   make([]*node, g.N()),
-		perNode: make([]int64, g.N()),
-		busy:    make([]core.Time, g.N()),
+		g:        g,
+		pm:       pm,
+		cfg:      cfg,
+		down:     make(map[graph.Edge]bool),
+		rng:      rand.New(rand.NewSource(cfg.seed)),
+		faultRng: rand.New(rand.NewSource(cfg.seed ^ 0x10551e5)),
+		nodes:    make([]*node, g.N()),
+		perNode:  make([]int64, g.N()),
+		busy:     make([]core.Time, g.N()),
 	}
 	for i := range net.nodes {
 		id := core.NodeID(i)
@@ -254,6 +265,16 @@ func (net *Network) RestoreNode(t core.Time, v core.NodeID) {
 func (net *Network) InjectLink(u, v core.NodeID, up bool) {
 	net.SetLink(net.now, u, v, up)
 }
+
+// SetMsgFaults replaces the lossy-link profile, effective for link
+// traversals from the current virtual time on (packets already scheduled
+// onto a link keep the roll they got). The fault stream itself is not
+// reset, so a driver toggling profiles deterministically keeps the run a
+// pure function of the seed.
+func (net *Network) SetMsgFaults(f core.MsgFaults) { net.cfg.faults = f }
+
+// MsgFaults returns the active lossy-link profile.
+func (net *Network) MsgFaults() core.MsgFaults { return net.cfg.faults }
 
 // Run drains the event queue and returns the finish time (the time of the
 // last NCU activation).
@@ -437,14 +458,46 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, rev anr.Header
 		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
 		return
 	}
+	// Lossy-link model: one roll per live-link traversal. A duplicate
+	// crosses the link a second time (an extra hardware hop) after a jitter
+	// delay; a corruption damages the payload seen by everything downstream.
+	var extraDelay core.Time
+	duplicate := false
+	if net.cfg.faults.Enabled() {
+		switch net.cfg.faults.Roll(net.faultRng) {
+		case core.FaultDrop:
+			net.metrics.FaultDrops++
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDrop, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDrop.String()})
+			return
+		case core.FaultDup:
+			net.metrics.FaultDups++
+			duplicate = true
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDup, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDup.String()})
+		case core.FaultCorrupt:
+			net.metrics.FaultCorrupts++
+			payload = core.CorruptPayload(payload, net.faultRng)
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultCorrupt, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultCorrupt.String()})
+		case core.FaultJitter:
+			net.metrics.FaultJitters++
+			extraDelay = net.cfg.faults.JitterDelay(net.faultRng)
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultJitter, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultJitter.String()})
+		}
+	}
 	net.metrics.Hops++
 	next := make(anr.Header, 0, len(rev)+1)
 	next = append(next, anr.Hop{Link: port.RemoteID})
 	nextRev := append(next, rev...)
-	at := net.now + net.hwDelayOnce()
+	at := net.now + net.hwDelayOnce() + extraDelay
 	net.schedule(at, func() {
 		net.stepHop(port.Remote, h, i+1, nextRev, port.RemoteID, payload, msg)
 	})
+	if duplicate {
+		net.metrics.Hops++
+		dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
+		net.schedule(dupAt, func() {
+			net.stepHop(port.Remote, h, i+1, nextRev, port.RemoteID, payload, msg)
+		})
+	}
 }
 
 // --- env: the core.Env implementation handed to protocols ---

@@ -42,9 +42,19 @@ type Broadcast struct {
 
 	full bool // broadcast everything known, not just the local topology
 
+	// fwd is the newest broadcast sequence forwarded per origin (same idiom
+	// as Flood.best). Every broadcast round refreshes the origin's record,
+	// so (Origin, Seq) identifies a round; under the lossy-link model a
+	// duplicated Msg would otherwise re-trigger this node's whole branching
+	// fan-out — a message storm the dedup watermark suppresses. Record
+	// application stays unconditional: Update is idempotent by sequence.
+	fwd map[core.NodeID]uint64
+
 	// Stats for experiments.
 	Broadcasts int
 	Forwards   int
+	// DupSuppressed counts forwards skipped by the dedup watermark.
+	DupSuppressed int
 }
 
 var _ core.Protocol = (*Broadcast)(nil)
@@ -53,7 +63,7 @@ var _ core.Protocol = (*Broadcast)(nil)
 // set, every broadcast carries all records the node knows (the paper's
 // "improved to log d" variant); otherwise only the local topology.
 func NewBroadcast(id core.NodeID, full bool) *Broadcast {
-	return &Broadcast{localTopo: newLocalTopo(id), full: full}
+	return &Broadcast{localTopo: newLocalTopo(id), full: full, fwd: make(map[core.NodeID]uint64)}
 }
 
 // Init records the node's own local topology.
@@ -86,6 +96,17 @@ func (b *Broadcast) Deliver(env core.Env, pkt core.Packet) {
 	case *Msg:
 		for _, r := range m.Recs {
 			b.db.Update(r)
+		}
+		// Forward each round at most once: a fault-duplicated (or reordered
+		// stale) Msg must not re-fan-out. Rounds with no route specs (the
+		// LinkEvent adjacency bring-up) forward nothing, so they are exempt
+		// from the watermark and can never mask a real round.
+		if len(m.Routes) > 0 {
+			if m.Seq <= b.fwd[m.Origin] {
+				b.DupSuppressed++
+				return
+			}
+			b.fwd[m.Origin] = m.Seq
 		}
 		b.forward(env, m)
 	}

@@ -13,13 +13,20 @@ import (
 type Kind int
 
 // Event kinds. Send is recorded once per routed packet (a multicast of k
-// routes records k sends sharing one activation).
+// routes records k sends sharing one activation). The KindFault* kinds are
+// emitted by the lossy-link model (core.MsgFaults): the event's Node is the
+// switching subsystem whose outgoing traversal was perturbed, and Cause
+// carries the fault tag ("drop", "dup", "corrupt", "jitter").
 const (
 	KindSend Kind = iota + 1
 	KindDeliver
 	KindInject
 	KindDrop
 	KindLinkEvent
+	KindFaultDrop
+	KindFaultDup
+	KindFaultCorrupt
+	KindFaultJitter
 )
 
 // Event is one runtime occurrence. Act identifies the NCU activation in
@@ -27,13 +34,15 @@ const (
 // the activation performing the receive; for KindSend it is the activation
 // that issued the send (0 when sent from outside any activation). Msg is a
 // run-unique message ID linking each send to its deliveries; copies of one
-// packet share the Msg of their send.
+// packet share the Msg of their send, as do fault-injected duplicates.
+// Cause is empty except on fault events, where it names the perturbation.
 type Event struct {
-	Kind Kind
-	Time int64
-	Node graph.NodeID
-	Act  int64
-	Msg  int64
+	Kind  Kind
+	Time  int64
+	Node  graph.NodeID
+	Act   int64
+	Msg   int64
+	Cause string
 }
 
 // Sink consumes events. Implementations must be safe for concurrent use by
