@@ -12,6 +12,7 @@ import (
 	"fastnet/internal/core"
 	"fastnet/internal/election"
 	"fastnet/internal/experiments"
+	"fastnet/internal/faults"
 	"fastnet/internal/globalfn"
 	"fastnet/internal/graph"
 	"fastnet/internal/paths"
@@ -55,6 +56,48 @@ func BenchmarkE16HardwareAblation(b *testing.B)   { benchSpec(b, "E16") }
 func BenchmarkE17Duality(b *testing.B)            { benchSpec(b, "E17") }
 func BenchmarkE18DataVsControl(b *testing.B)      { benchSpec(b, "E18") }
 func BenchmarkE19PIF(b *testing.B)                { benchSpec(b, "E19") }
+
+// E20/E21 are multi-second sweeps of invariant-checked soaks; in short mode
+// each benchmarks a single scaled-down soak point so `-short -bench .` stays
+// fast while still exercising the churn and lossy-link paths.
+func BenchmarkE20Degradation(b *testing.B) {
+	if testing.Short() {
+		benchSoak(b, faults.Config{
+			Seed: 1, Epochs: 2, Mode: topology.ModeFlood,
+			Flaps: 2, Crashes: 1, Downtime: 2, NoElection: true,
+		})
+		return
+	}
+	benchSpec(b, "E20")
+}
+
+func BenchmarkE21Reliability(b *testing.B) {
+	if testing.Short() {
+		benchSoak(b, faults.Config{
+			Seed: 1, Epochs: 2, Mode: topology.ModeFlood,
+			Flaps: 1, Crashes: 1, Downtime: 2, NoElection: true,
+			Reliable: 8, Loss: 0.1, Dup: 0.05, Corrupt: 0.025, Jitter: 0.05,
+		})
+		return
+	}
+	benchSpec(b, "E21")
+}
+
+// benchSoak runs one soak config per iteration on E20/E21's fabric.
+func benchSoak(b *testing.B, cfg faults.Config) {
+	g := graph.GNP(24, 0.25, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := faults.Soak(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatal("invariant violation")
+		}
+	}
+}
 
 // --- substrate micro-benchmarks ---
 

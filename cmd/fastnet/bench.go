@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/election"
+	"fastnet/internal/experiments"
+	"fastnet/internal/graph"
+	"fastnet/internal/topology"
+)
+
+// benchRow is one benchmark's measurement in the BENCH_<date>.json artifact.
+// EventsPerOp/EventsPerSec are reported only for the event-core micro
+// benchmarks, where the discrete-event scheduler's dispatch count is
+// observable (it is a deterministic per-iteration constant).
+type benchRow struct {
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  int64   `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// benchFile is the BENCH_<date>.json schema: enough machine context to make
+// two artifacts comparable, then one row per benchmark.
+type benchFile struct {
+	Date       string     `json:"date"`
+	GoVersion  string     `json:"go"`
+	MaxProcs   int        `json:"maxprocs"`
+	Notes      []string   `json:"notes,omitempty"` // free-form context (e.g. baseline deltas), added by hand
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+// runBench runs the experiment suite plus the event-core micro benchmarks
+// benchtime-style (each case is rerun until the measurement is stable, via
+// testing.Benchmark) and writes the results as a BENCH_<date>.json artifact
+// for trend tracking; compare two artifacts — or `go test -bench` output —
+// with benchstat as described in docs/PERF.md.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output path (default BENCH_<date>.json)")
+	idList := fs.String("ids", "all", "comma-separated experiment IDs to benchmark, 'all', or 'none'")
+	micro := fs.Bool("micro", true, "include the event-core micro benchmarks (events/sec)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ids []string
+	switch strings.ToLower(*idList) {
+	case "all":
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	case "none", "":
+	default:
+		for _, id := range strings.Split(*idList, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	var rows []benchRow
+	for _, id := range ids {
+		spec, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'fastnet list')", id)
+		}
+		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.ID)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Run(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s: %w", spec.ID, benchErr)
+		}
+		rows = append(rows, newRow(spec.ID, r, 0))
+	}
+
+	if *micro {
+		microRows, err := benchMicro()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, microRows...)
+	}
+
+	out := benchFile{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Benchmarks: rows,
+	}
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", out.Date)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(rows), path)
+	return nil
+}
+
+func newRow(name string, r testing.BenchmarkResult, eventsPerOp int64) benchRow {
+	row := benchRow{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if eventsPerOp > 0 && r.NsPerOp() > 0 {
+		row.EventsPerOp = eventsPerOp
+		row.EventsPerSec = float64(eventsPerOp) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return row
+}
+
+// benchMicro measures the event core directly: the same hot-substrate
+// scenarios as bench_test.go's micro benchmarks, plus the scheduler's
+// dispatch count so the artifact records events/sec throughput.
+func benchMicro() ([]benchRow, error) {
+	var rows []benchRow
+
+	broadcast := func(name string, g *graph.Graph, mode topology.Mode, wantCovered int) error {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+		var events int64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := topology.SingleBroadcast(g, 0, mode)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if wantCovered > 0 && res.Covered != wantCovered {
+					benchErr = fmt.Errorf("covered %d of %d nodes", res.Covered, wantCovered)
+					b.FailNow()
+				}
+				events = res.Events
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s: %w", name, benchErr)
+		}
+		rows = append(rows, newRow(name, r, events))
+		return nil
+	}
+
+	if err := broadcast("SingleBroadcast4096", graph.RandomTree(4096, 2), topology.ModeBranching, 4095); err != nil {
+		return nil, err
+	}
+	// wantCovered 0 skips the coverage assertion: sparse GNP graphs need not
+	// be connected, and the flood's cost is what is being measured.
+	if err := broadcast("Flood1024", graph.GNP(1024, 4.0/1024, 3), topology.ModeFlood, 0); err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintln(os.Stderr, "bench Election1024...")
+	g := graph.GNP(1024, 4.0/1024, 3)
+	starters := make([]core.NodeID, 1024)
+	for i := range starters {
+		starters[i] = core.NodeID(i)
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := election.Run(g, election.AlgoToken, starters)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if res.AlgorithmMessages > 6*1024 {
+				benchErr = fmt.Errorf("6n bound violated: %d", res.AlgorithmMessages)
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, fmt.Errorf("Election1024: %w", benchErr)
+	}
+	rows = append(rows, newRow("Election1024", r, 0))
+	return rows, nil
+}

@@ -7,12 +7,14 @@
 //	fastnet exp [-csv] <id>...       run experiments (IDs or 'all')
 //	fastnet sim [flags]              run one scenario (see 'fastnet sim -h')
 //	fastnet soak [flags]             run the invariant-checked churn soak
+//	fastnet bench [flags]            benchmark the suite, emit BENCH_<date>.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"fastnet/internal/globalfn"
 	"fastnet/internal/graph"
 	"fastnet/internal/pif"
+	"fastnet/internal/runner"
 	"fastnet/internal/sim"
 	"fastnet/internal/topology"
 )
@@ -51,6 +54,8 @@ func run(args []string) error {
 		return runSim(args[1:])
 	case "soak":
 		return runSoak(args[1:])
+	case "bench":
+		return runBench(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -60,10 +65,56 @@ func run(args []string) error {
 	}
 }
 
+// startProfiles turns on CPU profiling and arranges a heap snapshot; the
+// returned stop function must run after the measured work (empty paths are
+// skipped). These are the standard runtime/pprof artifacts: inspect with
+// `go tool pprof fastnet <file>`.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
 func runExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	parallel := fs.Int("parallel", 1, "worker pool for sweep rows (0 = one per CPU; output is identical to serial)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write an allocation profile to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments.SetWorkers(*parallel)
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		return err
 	}
 	ids := fs.Args()
@@ -93,7 +144,7 @@ func runExp(args []string) error {
 			tbl.Render(os.Stdout)
 		}
 	}
-	return nil
+	return stopProf()
 }
 
 func runSim(args []string) error {
@@ -233,6 +284,10 @@ func runSoak(args []string) error {
 		maxRounds   = fs.Int("max-rounds", 0, "convergence-round cap (default n+8)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-quiescence bound (gosim runtime)")
 		verbose     = fs.Bool("v", false, "print one line per epoch")
+		seedCount   = fs.Int("seeds", 1, "run a campaign of this many consecutive seeds starting at -seed")
+		parallel    = fs.Int("parallel", 1, "workers for the multi-seed campaign (0 = one per CPU)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -279,6 +334,44 @@ func runSoak(args []string) error {
 	if *verbose {
 		cfg.Verbose = os.Stdout
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+
+	// Multi-seed campaign: fan independent soaks across the worker pool and
+	// report one line per seed, in seed order regardless of worker count.
+	if *seedCount > 1 {
+		seeds := runner.Seeds(*seed, *seedCount)
+		fmt.Printf("soak campaign %s on %s: n=%d m=%d seeds=%d..%d epochs=%d mode=%s workers=%d\n",
+			cfg.Runtime, *topoName, g.N(), g.M(), seeds[0], seeds[len(seeds)-1],
+			cfg.Epochs, mode, runner.Workers(*parallel))
+		results, err := faults.SoakSeeds(g, cfg, seeds, *parallel)
+		if err != nil {
+			return err
+		}
+		bad := 0
+		for i, res := range results {
+			fmt.Printf("seed %d: %s\n", seeds[i], res.Line())
+			if !res.OK() {
+				bad++
+				for _, v := range res.Violations {
+					fmt.Fprintln(os.Stderr, "violation:", v)
+				}
+				c := cfg
+				c.Seed = seeds[i]
+				fmt.Fprintln(os.Stderr, "repro:", c.Repro(*topoName, *n))
+			}
+		}
+		if err := stopProf(); err != nil {
+			return err
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d of %d seeds hit invariant violations", bad, len(seeds))
+		}
+		return nil
+	}
+
 	fmt.Printf("soak %s on %s: n=%d m=%d seed=%d epochs=%d mode=%s\n",
 		cfg.Runtime, *topoName, g.N(), g.M(), cfg.Seed, cfg.Epochs, mode)
 	res, err := faults.Soak(g, cfg)
@@ -286,6 +379,9 @@ func runSoak(args []string) error {
 		return err
 	}
 	fmt.Println(res.Line())
+	if err := stopProf(); err != nil {
+		return err
+	}
 	if !res.OK() {
 		for _, v := range res.Violations {
 			fmt.Fprintln(os.Stderr, "violation:", v)
@@ -337,5 +433,6 @@ func usage() {
   fastnet list                 list all experiments
   fastnet exp [-csv] <id>...   run experiments by ID ('all' for everything)
   fastnet sim [flags]          run one ad-hoc scenario (see 'fastnet sim -h')
-  fastnet soak [flags]         run the invariant-checked churn soak (see 'fastnet soak -h')`)
+  fastnet soak [flags]         run the invariant-checked churn soak (see 'fastnet soak -h')
+  fastnet bench [flags]        benchmark the suite and emit BENCH_<date>.json (see 'fastnet bench -h')`)
 }

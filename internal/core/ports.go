@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"fastnet/internal/anr"
 	"fastnet/internal/graph"
@@ -11,9 +12,13 @@ import (
 // node u's incident links get IDs 1..deg(u) in ascending neighbor order
 // (ID 0 is the NCU). Both runtimes share one PortMap so that ANR headers are
 // portable across them.
+//
+// All ports live in one contiguous arena (per-node views are sub-slices),
+// and the neighbor->ID lookup is a binary search over the node's ports —
+// which are sorted by Remote by construction — so building the map costs
+// O(1) allocations per node instead of a slice and a map each.
 type PortMap struct {
-	ports   [][]Port            // per node, index = localID-1
-	toward  []map[NodeID]anr.ID // per node: neighbor -> local ID
+	ports   [][]Port // per node, index = localID-1; Remote ascending
 	idWidth int
 }
 
@@ -22,24 +27,28 @@ func NewPortMap(g *graph.Graph) *PortMap {
 	n := g.N()
 	pm := &PortMap{
 		ports:   make([][]Port, n),
-		toward:  make([]map[NodeID]anr.ID, n),
 		idWidth: anr.IDWidth(g.MaxDegree()),
 	}
+	total := 0
+	for u := 0; u < n; u++ {
+		total += g.Degree(NodeID(u))
+	}
+	arena := make([]Port, 0, total)
 	for u := 0; u < n; u++ {
 		nbs := g.Neighbors(NodeID(u))
-		pm.ports[u] = make([]Port, len(nbs))
-		pm.toward[u] = make(map[NodeID]anr.ID, len(nbs))
+		start := len(arena)
 		for i, v := range nbs {
-			pm.ports[u][i] = Port{Local: anr.ID(i + 1), Remote: v, Up: true}
-			pm.toward[u][v] = anr.ID(i + 1)
+			arena = append(arena, Port{Local: anr.ID(i + 1), Remote: v, Up: true})
 		}
+		pm.ports[u] = arena[start:len(arena):len(arena)]
 	}
 	// Second pass: fill in the remote side's ID for each port (the
 	// data-link handshake knowledge).
 	for u := range pm.ports {
 		for i := range pm.ports[u] {
 			v := pm.ports[u][i].Remote
-			pm.ports[u][i].RemoteID = pm.toward[v][NodeID(u)]
+			id, _ := pm.Toward(v, NodeID(u))
+			pm.ports[u][i].RemoteID = id
 		}
 	}
 	return pm
@@ -57,8 +66,12 @@ func (pm *PortMap) Ports(u NodeID) []Port { return pm.ports[u] }
 
 // Toward returns u's local link ID for the edge to v.
 func (pm *PortMap) Toward(u, v NodeID) (anr.ID, bool) {
-	id, ok := pm.toward[u][v]
-	return id, ok
+	ports := pm.ports[u]
+	i := sort.Search(len(ports), func(k int) bool { return ports[k].Remote >= v })
+	if i < len(ports) && ports[i].Remote == v {
+		return ports[i].Local, true
+	}
+	return 0, false
 }
 
 // Resolve maps u's local link ID to the port it names.

@@ -5,6 +5,7 @@ import (
 
 	"fastnet/internal/faults"
 	"fastnet/internal/graph"
+	"fastnet/internal/runner"
 	"fastnet/internal/topology"
 )
 
@@ -31,42 +32,57 @@ func E20Degradation() (*Table, error) {
 	// Churn sweep: convergence cost vs churn rate, branching paths vs
 	// flooding. Flaps heal within the epoch; the accompanying crashes leave
 	// persistent damage for the databases to re-converge around. Elections
-	// are off so syscalls isolate the maintenance cost.
+	// are off so syscalls isolate the maintenance cost. Each row is an
+	// independent soak on the shared read-only graph, so the sweep fans out
+	// through the worker pool; rows come back in input order.
+	type churnPoint struct {
+		mode     topology.Mode
+		flapRate int
+	}
+	var churn []churnPoint
 	for _, mode := range []topology.Mode{topology.ModeBranching, topology.ModeFlood} {
 		for _, flapRate := range []int{1, 2, 4, 8} {
-			res, err := faults.Soak(g, faults.Config{
-				Seed:       1,
-				Epochs:     6,
-				Mode:       mode,
-				Flaps:      flapRate,
-				Crashes:    (flapRate + 1) / 2,
-				Downtime:   2,
-				NoElection: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(mode, flapRate, "-", res.Epochs, res.ConvRounds, res.ConvMax,
-				res.FaultFlips, res.Metrics.Syscalls(), "-", "-", "-", len(res.Violations))
+			churn = append(churn, churnPoint{mode, flapRate})
 		}
+	}
+	churnRes, err := runner.Map(Workers(), churn, func(p churnPoint) (*faults.Result, error) {
+		return faults.Soak(g, faults.Config{
+			Seed:       1,
+			Epochs:     6,
+			Mode:       p.mode,
+			Flaps:      p.flapRate,
+			Crashes:    (p.flapRate + 1) / 2,
+			Downtime:   2,
+			NoElection: true,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range churnRes {
+		t.AddRow(churn[i].mode, churn[i].flapRate, "-", res.Epochs, res.ConvRounds, res.ConvMax,
+			res.FaultFlips, res.Metrics.Syscalls(), "-", "-", "-", len(res.Violations))
 	}
 
 	// Re-election sweep: latency vs leader-crash probability.
-	for _, pCrash := range []float64{0, 0.5, 1} {
-		res, err := faults.Soak(g, faults.Config{
+	pCrashes := []float64{0, 0.5, 1}
+	electRes, err := runner.Map(Workers(), pCrashes, func(pCrash float64) (*faults.Result, error) {
+		return faults.Soak(g, faults.Config{
 			Seed:        1,
 			Epochs:      6,
 			Flaps:       1,
 			LeaderCrash: pCrash,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range electRes {
 		avg := "-"
 		if res.Elections > 0 {
 			avg = fmt.Sprintf("%.1f", float64(res.ReelectTime)/float64(res.Elections))
 		}
-		t.AddRow(topology.ModeBranching, 1, pCrash, res.Epochs, res.ConvRounds, res.ConvMax,
+		t.AddRow(topology.ModeBranching, 1, pCrashes[i], res.Epochs, res.ConvRounds, res.ConvMax,
 			res.FaultFlips, res.Metrics.Syscalls(), res.Elections, avg, res.ReelectMax, len(res.Violations))
 	}
 	return t, nil

@@ -11,7 +11,23 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// workers is the worker-pool width sweep experiments hand to runner.Map.
+// The default (1) is the serial reference execution; any width produces
+// byte-identical tables, because every row is an independent DES instance
+// that is a pure function of its seed and results keep input order.
+var workers atomic.Int32
+
+func init() { workers.Store(1) }
+
+// SetWorkers sets the number of workers sweep experiments fan their
+// independent simulator runs across (0 = one per CPU, <0 or 1 = serial).
+func SetWorkers(n int) { workers.Store(int32(n)) }
+
+// Workers returns the configured sweep worker-pool width.
+func Workers() int { return int(workers.Load()) }
 
 // Table is one experiment's output.
 type Table struct {

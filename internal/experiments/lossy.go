@@ -5,6 +5,7 @@ import (
 
 	"fastnet/internal/faults"
 	"fastnet/internal/graph"
+	"fastnet/internal/runner"
 	"fastnet/internal/topology"
 )
 
@@ -33,33 +34,47 @@ func E21Reliability() (*Table, error) {
 		},
 	}
 	g := graph.GNP(24, 0.25, 1)
+
+	// Every (protocol, loss) point is an independent soak over the shared
+	// read-only graph — fan the sweep through the worker pool and render the
+	// rows in input order so parallel tables match serial ones byte for byte.
+	type lossPoint struct {
+		mode topology.Mode
+		loss float64
+	}
+	var points []lossPoint
 	for _, mode := range []topology.Mode{topology.ModeBranching, topology.ModeFlood} {
 		for _, loss := range []float64{0, 0.1, 0.2, 0.3} {
-			res, err := faults.Soak(g, faults.Config{
-				Seed:       1,
-				Epochs:     6,
-				Mode:       mode,
-				Flaps:      1,
-				Crashes:    2,
-				Downtime:   2,
-				NoElection: true,
-				Reliable:   16,
-				Loss:       loss,
-				Dup:        loss / 2,
-				Corrupt:    loss / 4,
-				Jitter:     loss / 2,
-			})
-			if err != nil {
-				return nil, err
-			}
-			retx := "-"
-			if res.RelSent > 0 {
-				retx = fmt.Sprintf("%.2f", float64(res.RelRetrans)/float64(res.RelSent))
-			}
-			t.AddRow(mode, loss, res.Epochs, res.ConvRounds, res.ConvMax,
-				res.RelSent, res.RelRetrans, retx, res.RelDupes, res.RelBadSum,
-				res.Metrics.Syscalls(), len(res.Violations))
+			points = append(points, lossPoint{mode, loss})
 		}
+	}
+	results, err := runner.Map(Workers(), points, func(p lossPoint) (*faults.Result, error) {
+		return faults.Soak(g, faults.Config{
+			Seed:       1,
+			Epochs:     6,
+			Mode:       p.mode,
+			Flaps:      1,
+			Crashes:    2,
+			Downtime:   2,
+			NoElection: true,
+			Reliable:   16,
+			Loss:       p.loss,
+			Dup:        p.loss / 2,
+			Corrupt:    p.loss / 4,
+			Jitter:     p.loss / 2,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		retx := "-"
+		if res.RelSent > 0 {
+			retx = fmt.Sprintf("%.2f", float64(res.RelRetrans)/float64(res.RelSent))
+		}
+		t.AddRow(points[i].mode, points[i].loss, res.Epochs, res.ConvRounds, res.ConvMax,
+			res.RelSent, res.RelRetrans, retx, res.RelDupes, res.RelBadSum,
+			res.Metrics.Syscalls(), len(res.Violations))
 	}
 	return t, nil
 }

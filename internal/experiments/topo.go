@@ -6,6 +6,7 @@ import (
 
 	"fastnet/internal/core"
 	"fastnet/internal/graph"
+	"fastnet/internal/runner"
 	"fastnet/internal/sim"
 	"fastnet/internal/topology"
 )
@@ -36,19 +37,29 @@ func E1BroadcastVsFlooding() (*Table, error) {
 		workload{"arpanet", graph.ARPANET()},
 		workload{"path(256)", graph.Path(256)},
 	)
-	for _, w := range ws {
+	// Each workload's branch/flood pair is independent of every other row, so
+	// the sweep fans out through the worker pool; rows render in input order.
+	type pair struct{ branch, flood topology.BroadcastResult }
+	results, err := runner.Map(Workers(), ws, func(w workload) (pair, error) {
 		b, err := topology.SingleBroadcast(w.g, 0, topology.ModeBranching)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		f, err := topology.SingleBroadcast(w.g, 0, topology.ModeFlood)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		ratio := float64(f.Metrics.Deliveries) / float64(b.Metrics.Deliveries)
+		return pair{b, f}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range results {
+		w := ws[i]
+		ratio := float64(p.flood.Metrics.Deliveries) / float64(p.branch.Metrics.Deliveries)
 		t.AddRow(w.name, w.g.N(), w.g.M(),
-			b.Metrics.Deliveries, b.Metrics.FinishTime,
-			f.Metrics.Deliveries, f.Metrics.FinishTime,
+			p.branch.Metrics.Deliveries, p.branch.Metrics.FinishTime,
+			p.flood.Metrics.Deliveries, p.flood.Metrics.FinishTime,
 			fmt.Sprintf("%.2f", ratio))
 	}
 	return t, nil
@@ -210,24 +221,32 @@ func E5Convergence() (*Table, error) {
 		mk("arpanet", graph.ARPANET(), 3),
 		mk("path(65)", graph.Path(65), 20),
 	}
-	for _, w := range ws {
-		// Cold start: knowledge must still spread across the network after
-		// the burst, so the plain variant needs O(d) rounds and the
-		// full-knowledge variant O(log d).
+	// Cold start: knowledge must still spread across the network after the
+	// burst, so the plain variant needs O(d) rounds and the full-knowledge
+	// variant O(log d). The per-workload pairs are independent runs, so they
+	// fan out through the worker pool and render in input order.
+	type pair struct{ plain, full topology.ConvergenceResult }
+	results, err := runner.Map(Workers(), ws, func(w workload) (pair, error) {
 		plain, err := topology.RunConvergence(w.g, topology.ConvOptions{
 			Mode: topology.ModeBranching, MaxRounds: 200,
 		}, w.changes)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		full, err := topology.RunConvergence(w.g, topology.ConvOptions{
 			Mode: topology.ModeBranching, Full: true, MaxRounds: 200,
 		}, w.changes)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		t.AddRow(w.name, w.g.N(), w.g.Diameter(),
-			convLabel(plain), convLabel(full))
+		return pair{plain, full}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range results {
+		t.AddRow(ws[i].name, ws[i].g.N(), ws[i].g.Diameter(),
+			convLabel(p.plain), convLabel(p.full))
 	}
 	t.Notes = append(t.Notes, "cold start: databases empty before round 1; rounds counted after the last change")
 	return t, nil

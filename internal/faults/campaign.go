@@ -1,0 +1,22 @@
+package faults
+
+import (
+	"fastnet/internal/graph"
+	"fastnet/internal/runner"
+)
+
+// SoakSeeds runs one independent soak per seed over the shared read-only
+// graph, fanned across the given worker count (0 = one per CPU, <=1 =
+// serial), and returns the results in seed order. Each soak is a pure
+// function of (g, cfg, seed), so the result slice — and every Line() it
+// renders — is byte-identical regardless of worker count. Campaign runs
+// are quiet: cfg.Verbose is dropped because interleaved per-epoch progress
+// from concurrent soaks would be garbled anyway.
+func SoakSeeds(g *graph.Graph, cfg Config, seeds []int64, workers int) ([]*Result, error) {
+	cfg.Verbose = nil
+	return runner.Map(workers, seeds, func(seed int64) (*Result, error) {
+		c := cfg
+		c.Seed = seed
+		return Soak(g, c)
+	})
+}

@@ -1,0 +1,41 @@
+package faults_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fastnet/internal/faults"
+	"fastnet/internal/graph"
+	"fastnet/internal/runner"
+	"fastnet/internal/topology"
+)
+
+// TestSoakSeedsParallelMatchesSerial checks the campaign runner's contract:
+// fanning seeds across workers reproduces the serial repro lines bit for bit.
+func TestSoakSeedsParallelMatchesSerial(t *testing.T) {
+	g := graph.GNP(20, 0.3, 2)
+	cfg := faults.Config{
+		Epochs:     3,
+		Mode:       topology.ModeFlood,
+		Flaps:      1,
+		Crashes:    1,
+		Downtime:   2,
+		NoElection: true,
+	}
+	seeds := runner.Seeds(1, 6)
+	lines := func(workers int) []string {
+		results, err := faults.SoakSeeds(g, cfg, seeds, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]string, len(results))
+		for i, r := range results {
+			out[i] = r.Line()
+		}
+		return out
+	}
+	serial := lines(1)
+	if parallel := lines(4); !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel campaign diverges from serial\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}

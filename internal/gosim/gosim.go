@@ -152,13 +152,23 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		perNode:  make([]atomic.Int64, g.N()),
 	}
 	net.quiesceC = sync.NewCond(&net.quiesceMu)
+	// One contiguous arena holds every node's mutable port state; each node
+	// gets a capacity-clamped sub-slice (its own mutex guards the writes),
+	// instead of one copy allocation per node.
+	total := 0
+	for u := 0; u < g.N(); u++ {
+		total += len(pm.Ports(core.NodeID(u)))
+	}
+	arena := make([]core.Port, 0, total)
 	for i := range net.nodes {
 		id := core.NodeID(i)
+		start := len(arena)
+		arena = append(arena, pm.Ports(id)...)
 		nd := &gnode{
 			id:    id,
 			proto: f(id),
 			rng:   rand.New(rand.NewSource(cfg.seed + int64(i) + 1)),
-			ports: append([]core.Port(nil), pm.Ports(id)...),
+			ports: arena[start:len(arena):len(arena)],
 		}
 		nd.cond = sync.NewCond(&nd.mu)
 		nd.env = genv{net: net, nd: nd}

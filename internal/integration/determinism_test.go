@@ -1,0 +1,163 @@
+package integration_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+	"fastnet/internal/topology"
+	"fastnet/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the cross-runtime determinism goldens from the current implementation")
+
+// The cross-runtime determinism contract: for a pinned seed set, both
+// runtimes must reproduce the goldens committed in testdata. The
+// discrete-event runtime is bit-deterministic, so its hash covers the full
+// trace stream and metrics. The goroutine runtime is scheduled by Go's
+// runtime, so only schedule-invariant observables are hashed: the sorted
+// multiset of (kind, node) trace events plus the metrics counters that a
+// quiesced run fixes regardless of interleaving (tree topologies make every
+// per-node count unique-path-deterministic).
+
+func hashSimRun(buf *trace.Buffer, m core.Metrics, finish core.Time) string {
+	h := sha256.New()
+	for _, e := range buf.Events() {
+		fmt.Fprintf(h, "%d %d %d %d %d %s\n", e.Kind, e.Time, e.Node, e.Act, e.Msg, e.Cause)
+	}
+	fmt.Fprintf(h, "metrics %s\nfinish %d\n", m, finish)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func hashGosimRun(buf *trace.Buffer, m core.Metrics) string {
+	type kn struct {
+		kind trace.Kind
+		node core.NodeID
+	}
+	counts := map[kn]int{}
+	for _, e := range buf.Events() {
+		counts[kn{e.Kind, e.Node}]++
+	}
+	keys := make([]kn, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].node < keys[j].node
+	})
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%d %d %d\n", k.kind, k.node, counts[k])
+	}
+	fmt.Fprintf(h, "hops=%d deliveries=%d copies=%d injections=%d sends=%d packets=%d drops=%d\n",
+		m.Hops, m.Deliveries, m.CopyDeliveries, m.Injections, m.Sends, m.Packets, m.Drops)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func runtimeScenarios() (map[string]func(t *testing.T) string, map[string]func(t *testing.T) string) {
+	seeds := []int64{1, 2, 3}
+	simRuns := map[string]func(t *testing.T) string{}
+	gosimRuns := map[string]func(t *testing.T) string{}
+	for _, mode := range []topology.Mode{topology.ModeBranching, topology.ModeFlood} {
+		for _, seed := range seeds {
+			mode, seed := mode, seed
+			name := fmt.Sprintf("%s-tree48-seed%d", mode, seed)
+			simRuns[name] = func(t *testing.T) string {
+				g := graph.RandomTree(48, seed)
+				buf := trace.NewBuffer()
+				net := sim.New(g, topology.NewMaintainer(mode, false, nil),
+					sim.WithDelays(0, 1), sim.WithSeed(seed),
+					sim.WithDmax(topology.DefaultDmax(mode, g.N())), sim.WithTrace(buf))
+				recs := topology.RecordsForGraph(g, net.PortMap(), nil)
+				net.Protocol(0).(topology.Maintainer).Preload(recs)
+				net.Inject(0, 0, topology.Trigger{})
+				finish, err := net.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hashSimRun(buf, net.Metrics(), finish)
+			}
+			gosimRuns[name] = func(t *testing.T) string {
+				g := graph.RandomTree(48, seed)
+				buf := trace.NewBuffer()
+				net := gosim.New(g, topology.NewMaintainer(mode, false, nil),
+					gosim.WithSeed(seed), gosim.WithDmax(topology.DefaultDmax(mode, g.N())),
+					gosim.WithTrace(buf))
+				defer net.Shutdown()
+				recs := topology.RecordsForGraph(g, net.PortMap(), nil)
+				net.Protocol(0).(topology.Maintainer).Preload(recs)
+				net.Inject(0, topology.Trigger{})
+				if err := net.AwaitQuiescence(30 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				return hashGosimRun(buf, net.Metrics())
+			}
+		}
+	}
+	return simRuns, gosimRuns
+}
+
+// TestCrossRuntimeDeterminism regression-tests both runtimes against
+// committed goldens: the same protocol code over the same pinned topologies
+// must reproduce the recorded hashes on the DES runtime (full trace +
+// metrics) and on the goroutine runtime (schedule-invariant projection).
+func TestCrossRuntimeDeterminism(t *testing.T) {
+	path := filepath.Join("testdata", "determinism.json")
+	golden := map[string]map[string]string{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &golden); err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+	} else if !*updateGolden {
+		t.Fatalf("missing %s (run with -update-golden to create)", path)
+	}
+	simRuns, gosimRuns := runtimeScenarios()
+	got := map[string]map[string]string{"sim": {}, "gosim": {}}
+	for name, run := range simRuns {
+		got["sim"][name] = run(t)
+	}
+	for name, run := range gosimRuns {
+		got["gosim"][name] = run(t)
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	for rt, scenarios := range golden {
+		for name, want := range scenarios {
+			if g := got[rt][name]; g != want {
+				t.Errorf("%s %q diverged\n got %s\nwant %s", rt, name, g, want)
+			}
+		}
+	}
+	for rt, scenarios := range got {
+		for name := range scenarios {
+			if _, ok := golden[rt][name]; !ok {
+				t.Errorf("%s %q has no committed golden (run -update-golden)", rt, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package runner_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"fastnet/internal/graph"
+	"fastnet/internal/runner"
+	"fastnet/internal/topology"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{-1, 1, 2, 7, 64, 0} {
+		got, err := runner.Map(workers, items, func(x int) (int, error) { return x * x, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := errors.New("boom")
+	_, err := runner.Map(4, items, func(x int) (int, error) {
+		if x == 3 || x == 6 {
+			return 0, fmt.Errorf("%w at %d", boom, x)
+		}
+		return x, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want wrapped boom, got %v", err)
+	}
+	if want := "task 3"; err.Error()[:len(want)] != want {
+		t.Fatalf("error must name the smallest failing index: %v", err)
+	}
+}
+
+func TestMapRunsAllItems(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 37)
+	_, err := runner.Map(5, items, func(int) (struct{}, error) {
+		ran.Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 37 {
+		t.Fatalf("ran %d of 37 tasks", ran.Load())
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	if got, want := runner.Seeds(5, 3), []int64{5, 6, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Seeds(5,3) = %v, want %v", got, want)
+	}
+	if got := runner.Seeds(1, 0); len(got) != 0 {
+		t.Fatalf("Seeds(1,0) = %v, want empty", got)
+	}
+}
+
+// TestParallelDESMatchesSerial is the runner's reason to exist: fanning
+// independent simulator instances across workers must reproduce the serial
+// results bit for bit — runs share a read-only graph and nothing else.
+func TestParallelDESMatchesSerial(t *testing.T) {
+	g := graph.GNP(48, 0.1, 17)
+	run := func(seed int64) (string, error) {
+		res, err := topology.SingleBroadcast(g, 0, topology.ModeFlood)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("seed=%d %s covered=%d", seed, res.Metrics, res.Covered), nil
+	}
+	seeds := runner.Seeds(1, 16)
+	serial, err := runner.Map(1, seeds, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runner.Map(8, seeds, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel results diverge from serial")
+	}
+}

@@ -6,10 +6,18 @@
 // worst-case execution, which is what the paper's time-complexity statements
 // quantify over; with randomized delays a run samples an asynchronous
 // execution.
+//
+// The event core is allocation-free on the steady-state hot path: events are
+// tagged-union records (activation / link event / injection / link flip /
+// hop) drawn from a free list and ordered by a typed 4-ary min-heap on
+// (time, sequence), so scheduling one of the up-to-50M events of a run costs
+// no closure, no interface boxing, and no per-event heap allocation. The
+// (t, seq) total order, all rng draw sequences, and therefore all metrics
+// and traces are byte-identical to the original closure-based scheduler;
+// golden_test.go enforces that contract.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -97,10 +105,11 @@ type Network struct {
 	g     *graph.Graph
 	pm    *core.PortMap
 	cfg   config
-	queue eventQueue
+	queue eventHeap
+	free  *rec // free list of event payload records
 	seq   uint64
 	now   core.Time
-	nodes    []*node
+	nodes    []node
 	down     map[graph.Edge]bool
 	rng      *rand.Rand // network-level source (hardware delays)
 	faultRng *rand.Rand // lossy-link rolls (separate stream: enabling faults must not perturb delay draws)
@@ -116,10 +125,21 @@ type Network struct {
 type node struct {
 	id        core.NodeID
 	proto     core.Protocol
-	rng       *rand.Rand
+	rng       *rand.Rand // created on first draw; see node.random
 	ports     []core.Port
 	busyUntil core.Time
 	env       env
+}
+
+// random returns the node's deterministic source, creating it on first use:
+// the seed is a pure function of (network seed, node id), so laziness only
+// skips the allocation in runs that never draw (exact delays, rng-free
+// protocols) without changing any draw sequence.
+func (nd *node) random(net *Network) *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = rand.New(rand.NewSource(net.cfg.seed + int64(nd.id) + 1))
+	}
+	return nd.rng
 }
 
 type env struct {
@@ -151,22 +171,30 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		down:     make(map[graph.Edge]bool),
 		rng:      rand.New(rand.NewSource(cfg.seed)),
 		faultRng: rand.New(rand.NewSource(cfg.seed ^ 0x10551e5)),
-		nodes:    make([]*node, g.N()),
+		nodes:    make([]node, g.N()),
 		perNode:  make([]int64, g.N()),
 		busy:     make([]core.Time, g.N()),
 	}
+	// One contiguous port arena for all nodes: each node's mutable port
+	// slice is a sub-slice (full-slice expression, so no append can bleed
+	// into a neighbor's ports), instead of one small allocation per node.
+	total := 0
+	for u := 0; u < g.N(); u++ {
+		total += len(pm.Ports(core.NodeID(u)))
+	}
+	arena := make([]core.Port, 0, total)
 	for i := range net.nodes {
 		id := core.NodeID(i)
-		nd := &node{
-			id:    id,
-			proto: f(id),
-			rng:   rand.New(rand.NewSource(cfg.seed + int64(i) + 1)),
-			ports: append([]core.Port(nil), pm.Ports(id)...),
-		}
+		start := len(arena)
+		arena = append(arena, pm.Ports(id)...)
+		nd := &net.nodes[i]
+		nd.id = id
+		nd.proto = f(id)
+		nd.ports = arena[start:len(arena):len(arena)]
 		nd.env = env{net: net, nd: nd}
-		net.nodes[i] = nd
 	}
-	for _, nd := range net.nodes {
+	for i := range net.nodes {
+		nd := &net.nodes[i]
 		nd.proto.Init(&nd.env)
 	}
 	return net
@@ -184,6 +212,10 @@ func (net *Network) Now() core.Time { return net.now }
 
 // Metrics returns the accumulated cost measures.
 func (net *Network) Metrics() core.Metrics { return net.metrics }
+
+// Events returns the number of scheduler events processed so far; divided by
+// wall-clock it is the event throughput `fastnet bench` reports.
+func (net *Network) Events() int64 { return net.eventCount }
 
 // DeliveriesPerNode returns a copy of the per-node delivery counts.
 func (net *Network) DeliveriesPerNode() []int64 {
@@ -203,14 +235,10 @@ func (net *Network) Protocol(u core.NodeID) core.Protocol { return net.nodes[u].
 // Inject schedules an external packet (e.g. a START message) for node v's
 // NCU at time t. It counts as an injection, not a delivery.
 func (net *Network) Inject(t core.Time, v core.NodeID, payload any) {
-	net.schedule(t, func() {
-		net.enqueueActivation(v, core.Packet{
-			Payload:   payload,
-			Reverse:   anr.Local(),
-			ArrivedOn: anr.NCU,
-			Injected:  true,
-		}, 0, false)
-	})
+	r := net.newRec()
+	r.node = v
+	r.payload = payload
+	net.push(t, evInject, r)
 }
 
 // SetLink schedules a link state change at time t. The hardware state flips
@@ -220,21 +248,9 @@ func (net *Network) SetLink(t core.Time, u, v core.NodeID, up bool) {
 	if !net.g.HasEdge(u, v) {
 		panic(fmt.Sprintf("sim: SetLink on non-edge %d-%d", u, v))
 	}
-	net.schedule(t, func() {
-		e := graph.Edge{U: u, V: v}.Canon()
-		net.down[e] = !up
-		for _, end := range [2]core.NodeID{u, v} {
-			other := v
-			if end == v {
-				other = u
-			}
-			nd := net.nodes[end]
-			lid, _ := net.pm.Toward(end, other)
-			port := &nd.ports[int(lid)-1]
-			port.Up = up
-			net.enqueueLinkEvent(end, *port)
-		}
-	})
+	r := net.newRec()
+	r.u, r.v, r.up = u, v, up
+	net.push(t, evLinkFlip, r)
 }
 
 // LinkUp reports the current hardware state of edge {u, v}.
@@ -289,8 +305,8 @@ func (net *Network) RunUntil(deadline core.Time) (core.Time, error) {
 }
 
 func (net *Network) run(deadline core.Time) (core.Time, error) {
-	for net.queue.Len() > 0 {
-		if deadline >= 0 && net.queue[0].t > deadline {
+	for net.queue.len() > 0 {
+		if deadline >= 0 && net.queue.evs[0].t > deadline {
 			net.now = deadline
 			return net.metrics.FinishTime, nil
 		}
@@ -298,57 +314,101 @@ func (net *Network) run(deadline core.Time) (core.Time, error) {
 		if net.eventCount > net.cfg.eventBudget {
 			return net.metrics.FinishTime, fmt.Errorf("%w (%d events)", ErrEventBudget, net.eventCount)
 		}
-		ev := heap.Pop(&net.queue).(event)
+		ev := net.queue.pop()
 		net.now = ev.t
-		ev.fn()
+		net.dispatch(ev)
 	}
 	return net.metrics.FinishTime, nil
 }
 
-func (net *Network) schedule(t core.Time, fn func()) {
-	if t < net.now {
-		t = net.now
-	}
-	net.seq++
-	heap.Push(&net.queue, event{t: t, seq: net.seq, fn: fn})
-}
-
-// enqueueActivation reserves the node's NCU for one software delay starting
-// no earlier than now and runs the Deliver callback at completion time.
-func (net *Network) enqueueActivation(v core.NodeID, pkt core.Packet, msg int64, isCopy bool) {
-	nd := net.nodes[v]
-	start := net.now
-	if nd.busyUntil > start {
-		start = nd.busyUntil
-	}
-	dur := net.swDelayFor(nd)
-	done := start + dur
-	nd.busyUntil = done
-	net.busy[v] += dur
-	net.schedule(done, func() {
+// dispatch consumes one popped event. Union fields are copied out and the
+// record returned to the free list before any protocol code runs, so the
+// callback's own scheduling reuses it immediately.
+func (net *Network) dispatch(ev eventRec) {
+	r := ev.rec
+	switch ev.kind {
+	case evHop:
+		nodeID, h, i, revBuf := r.node, r.h, int(r.hopIdx), r.rev
+		arrivedOn, payload, msg := r.arrivedOn, r.payload, r.msg
+		net.freeRec(r)
+		net.stepHop(nodeID, h, i, revBuf, arrivedOn, payload, msg)
+	case evActivation:
+		nodeID, pkt, msg, isCopy := r.node, r.pkt, r.msg, r.isCopy
+		net.freeRec(r)
+		nd := &net.nodes[nodeID]
 		net.actSeq++
 		nd.env.act = net.actSeq
 		if pkt.Injected {
 			net.metrics.Injections++
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindInject, Time: int64(net.now), Node: v, Act: net.actSeq, Msg: msg})
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindInject, Time: int64(net.now), Node: nodeID, Act: net.actSeq, Msg: msg})
 		} else {
 			net.metrics.Deliveries++
-			net.perNode[v]++
+			net.perNode[nodeID]++
 			if isCopy {
 				net.metrics.CopyDeliveries++
 			}
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindDeliver, Time: int64(net.now), Node: v, Act: net.actSeq, Msg: msg})
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindDeliver, Time: int64(net.now), Node: nodeID, Act: net.actSeq, Msg: msg})
 		}
 		if net.now > net.metrics.FinishTime {
 			net.metrics.FinishTime = net.now
 		}
 		nd.proto.Deliver(&nd.env, pkt)
 		nd.env.act = 0
-	})
+	case evLinkEvent:
+		nodeID, port := r.node, r.port
+		net.freeRec(r)
+		nd := &net.nodes[nodeID]
+		net.actSeq++
+		nd.env.act = net.actSeq
+		net.metrics.LinkEvents++
+		if net.now > net.metrics.FinishTime {
+			net.metrics.FinishTime = net.now
+		}
+		net.cfg.sink.Record(trace.Event{Kind: trace.KindLinkEvent, Time: int64(net.now), Node: nodeID, Act: net.actSeq})
+		nd.proto.LinkEvent(&nd.env, port)
+		nd.env.act = 0
+	case evInject:
+		nodeID, payload := r.node, r.payload
+		net.freeRec(r)
+		net.enqueueActivation(nodeID, core.Packet{
+			Payload:   payload,
+			Reverse:   anr.Local(),
+			ArrivedOn: anr.NCU,
+			Injected:  true,
+		}, 0, false)
+	case evLinkFlip:
+		u, v, up := r.u, r.v, r.up
+		net.freeRec(r)
+		e := graph.Edge{U: u, V: v}.Canon()
+		net.down[e] = !up
+		for _, end := range [2]core.NodeID{u, v} {
+			other := v
+			if end == v {
+				other = u
+			}
+			nd := &net.nodes[end]
+			lid, _ := net.pm.Toward(end, other)
+			port := &nd.ports[int(lid)-1]
+			port.Up = up
+			net.enqueueLinkEvent(end, *port)
+		}
+	}
 }
 
-func (net *Network) enqueueLinkEvent(v core.NodeID, port core.Port) {
-	nd := net.nodes[v]
+// push schedules an event record at time t (clamped to now), assigning the
+// next sequence number. (t, seq) is the scheduler's total order.
+func (net *Network) push(t core.Time, kind uint8, r *rec) {
+	if t < net.now {
+		t = net.now
+	}
+	net.seq++
+	net.queue.push(eventRec{t: t, seq: net.seq, kind: kind, rec: r})
+}
+
+// enqueueActivation reserves the node's NCU for one software delay starting
+// no earlier than now and schedules the Deliver callback at completion time.
+func (net *Network) enqueueActivation(v core.NodeID, pkt core.Packet, msg int64, isCopy bool) {
+	nd := &net.nodes[v]
 	start := net.now
 	if nd.busyUntil > start {
 		start = nd.busyUntil
@@ -357,17 +417,28 @@ func (net *Network) enqueueLinkEvent(v core.NodeID, port core.Port) {
 	done := start + dur
 	nd.busyUntil = done
 	net.busy[v] += dur
-	net.schedule(done, func() {
-		net.actSeq++
-		nd.env.act = net.actSeq
-		net.metrics.LinkEvents++
-		if net.now > net.metrics.FinishTime {
-			net.metrics.FinishTime = net.now
-		}
-		net.cfg.sink.Record(trace.Event{Kind: trace.KindLinkEvent, Time: int64(net.now), Node: v, Act: net.actSeq})
-		nd.proto.LinkEvent(&nd.env, port)
-		nd.env.act = 0
-	})
+	r := net.newRec()
+	r.node = v
+	r.pkt = pkt
+	r.msg = msg
+	r.isCopy = isCopy
+	net.push(done, evActivation, r)
+}
+
+func (net *Network) enqueueLinkEvent(v core.NodeID, port core.Port) {
+	nd := &net.nodes[v]
+	start := net.now
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	dur := net.swDelayFor(nd)
+	done := start + dur
+	nd.busyUntil = done
+	net.busy[v] += dur
+	r := net.newRec()
+	r.node = v
+	r.port = port
+	net.push(done, evLinkEvent, r)
 }
 
 func (net *Network) swDelayFor(nd *node) core.Time {
@@ -375,7 +446,7 @@ func (net *Network) swDelayFor(nd *node) core.Time {
 	if !net.cfg.randomize || p <= 1 {
 		return p
 	}
-	return 1 + core.Time(nd.rng.Int63n(int64(p)))
+	return 1 + core.Time(nd.random(net).Int63n(int64(p)))
 }
 
 func (net *Network) hwDelayOnce() core.Time {
@@ -418,12 +489,23 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 		net.metrics.MaxHeaderHops = hops
 	}
 	net.cfg.sink.Record(trace.Event{Kind: trace.KindSend, Time: int64(net.now), Node: src, Act: act, Msg: msg})
-	net.stepHop(src, h, 0, anr.Local(), anr.NCU, payload, msg)
+	// One reverse-path buffer per packet, filled back to front as the header
+	// is consumed: the reverse route after hop i is revBuf[hops-1-i:], so
+	// every delivery's Reverse is an independent tail of the same array and
+	// no per-hop allocation is needed. Tails have cap == len, so a protocol
+	// appending to a captured Reverse reallocates instead of stomping the
+	// buffer; duplicate packets re-write the same positions with the same
+	// route-determined values, which is idempotent.
+	revBuf := make(anr.Header, h.HopCount()+1)
+	revBuf[len(revBuf)-1] = anr.Hop{Link: anr.NCU}
+	net.stepHop(src, h, 0, revBuf, anr.NCU, payload, msg)
 	return nil
 }
 
-// stepHop consumes header position i at node cur, at the current time.
-func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, rev anr.Header, arrivedOn anr.ID, payload any, msg int64) {
+// stepHop consumes header position i at node cur, at the current time. The
+// reverse route accumulated so far is revBuf[len(revBuf)-1-i:].
+func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Header, arrivedOn anr.ID, payload any, msg int64) {
+	rev := revBuf[len(revBuf)-1-i:]
 	hop := h[i]
 	if hop.Link == anr.NCU {
 		net.enqueueActivation(cur, core.Packet{
@@ -484,20 +566,26 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, rev anr.Header
 		}
 	}
 	net.metrics.Hops++
-	next := make(anr.Header, 0, len(rev)+1)
-	next = append(next, anr.Hop{Link: port.RemoteID})
-	nextRev := append(next, rev...)
+	revBuf[len(revBuf)-2-i] = anr.Hop{Link: port.RemoteID}
 	at := net.now + net.hwDelayOnce() + extraDelay
-	net.schedule(at, func() {
-		net.stepHop(port.Remote, h, i+1, nextRev, port.RemoteID, payload, msg)
-	})
+	net.pushHop(at, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
 	if duplicate {
 		net.metrics.Hops++
 		dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
-		net.schedule(dupAt, func() {
-			net.stepHop(port.Remote, h, i+1, nextRev, port.RemoteID, payload, msg)
-		})
+		net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
 	}
+}
+
+func (net *Network) pushHop(at core.Time, node core.NodeID, h anr.Header, i int, revBuf anr.Header, arrivedOn anr.ID, payload any, msg int64) {
+	r := net.newRec()
+	r.node = node
+	r.h = h
+	r.hopIdx = int32(i)
+	r.rev = revBuf
+	r.arrivedOn = arrivedOn
+	r.payload = payload
+	r.msg = msg
+	net.push(at, evHop, r)
 }
 
 // --- env: the core.Env implementation handed to protocols ---
@@ -534,35 +622,138 @@ func (e *env) Multicast(hs []anr.Header, payload any) error {
 
 func (e *env) Now() core.Time { return e.net.now }
 
-func (e *env) Rand() *rand.Rand { return e.nd.rng }
+func (e *env) Rand() *rand.Rand { return e.nd.random(e.net) }
 
-// --- event queue ---
+// --- event core: tagged-union records + typed 4-ary min-heap ---
 
-type event struct {
-	t   core.Time
-	seq uint64
-	fn  func()
+// Event kinds of the scheduler's tagged union.
+const (
+	evActivation uint8 = iota // deliver one packet to an NCU (one system call)
+	evLinkEvent               // data-link notification activation
+	evInject                  // external injection arrives at a node
+	evLinkFlip                // scripted hardware link state change
+	evHop                     // packet arrives at a switching subsystem mid-route
+)
+
+// rec carries the payload of one scheduled event. Records are pooled on a
+// free list: dispatch copies the fields out and recycles the record before
+// running any protocol code, so steady-state scheduling performs no heap
+// allocation. Only the fields of the active kind are meaningful.
+type rec struct {
+	node core.NodeID
+
+	// evActivation
+	pkt    core.Packet
+	msg    int64 // also evHop
+	isCopy bool
+
+	// evLinkEvent
+	port core.Port
+
+	// evInject (payload also used by evHop)
+	payload any
+
+	// evLinkFlip
+	u, v core.NodeID
+	up   bool
+
+	// evHop
+	h         anr.Header
+	hopIdx    int32
+	rev       anr.Header
+	arrivedOn anr.ID
+
+	next *rec // free-list link
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+func (net *Network) newRec() *rec {
+	if r := net.free; r != nil {
+		net.free = r.next
+		r.next = nil
+		return r
 	}
-	return q[i].seq < q[j].seq
+	return &rec{}
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// freeRec zeroes the record (dropping any references it pinned) and returns
+// it to the free list.
+func (net *Network) freeRec(r *rec) {
+	*r = rec{next: net.free}
+	net.free = r
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+// eventRec is one heap element: the scheduling key (t, seq) — a strict total
+// order, since seq is unique — plus the tagged payload.
+type eventRec struct {
+	t    core.Time
+	seq  uint64
+	kind uint8
+	rec  *rec
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+func (a eventRec) before(b eventRec) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a 4-ary min-heap ordered by (t, seq). Compared with the
+// binary container/heap it halves the sift-down depth and keeps children in
+// one cache line, and its typed push/pop avoid the interface boxing that
+// made every schedule/dispatch allocate. Any min-heap pops the same strict
+// (t, seq) order, so the arity is invisible to simulation results.
+type eventHeap struct {
+	evs []eventRec
+}
+
+func (q *eventHeap) len() int { return len(q.evs) }
+
+func (q *eventHeap) push(e eventRec) {
+	q.evs = append(q.evs, e)
+	i := len(q.evs) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.before(q.evs[parent]) {
+			break
+		}
+		q.evs[i] = q.evs[parent]
+		i = parent
+	}
+	q.evs[i] = e
+}
+
+func (q *eventHeap) pop() eventRec {
+	evs := q.evs
+	min := evs[0]
+	last := evs[len(evs)-1]
+	evs = evs[:len(evs)-1]
+	q.evs = evs
+	if len(evs) > 0 {
+		// Sift the former last element down from the root.
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= len(evs) {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > len(evs) {
+				end = len(evs)
+			}
+			for c := first + 1; c < end; c++ {
+				if evs[c].before(evs[best]) {
+					best = c
+				}
+			}
+			if !evs[best].before(last) {
+				break
+			}
+			evs[i] = evs[best]
+			i = best
+		}
+		evs[i] = last
+	}
+	return min
 }

@@ -84,6 +84,9 @@ type BroadcastResult struct {
 	// Covered is the number of nodes (excluding the origin) that received
 	// the broadcast.
 	Covered int
+	// Events is the number of discrete events the scheduler dispatched,
+	// the denominator of the event-core's events/sec throughput figure.
+	Events int64
 }
 
 // SingleBroadcast warm-starts the origin's database with the full topology
@@ -105,7 +108,7 @@ func SingleBroadcast(g *graph.Graph, root core.NodeID, mode Mode, opts ...sim.Op
 			covered++
 		}
 	}
-	return BroadcastResult{Metrics: net.Metrics(), Covered: covered}, nil
+	return BroadcastResult{Metrics: net.Metrics(), Covered: covered, Events: net.Events()}, nil
 }
 
 // Change is a scripted link state change applied just before the given
