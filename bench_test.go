@@ -202,3 +202,92 @@ func BenchmarkTreeBasedExecution(b *testing.B) {
 		}
 	}
 }
+
+// --- routing-plane micro-benchmarks ---
+//
+// Warm vs cold pairs quantify the amortized routing plane: the warm variant
+// routes repeatedly between topology updates (the steady state of a quiet
+// network — version unchanged, everything served from cache), the cold
+// variant bumps the database version before every query by re-announcing a
+// record with a changed load, forcing the full rebuild the pre-cache code
+// paid on every call.
+
+// benchRoutingDB builds a warmed database over a 256-node random graph.
+func benchRoutingDB(b *testing.B) *topology.DB {
+	b.Helper()
+	g := graph.GNP(256, 8.0/256, 17)
+	pm := core.NewPortMap(g)
+	db := topology.NewDB()
+	for _, r := range topology.RecordsForGraph(g, pm, nil) {
+		db.Update(r)
+	}
+	if _, err := db.Route(0, 255); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkDBRouteWarm(b *testing.B) {
+	db := benchRoutingDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := core.NodeID(i * 31 % 256)
+		dst := core.NodeID((i*97 + 13) % 256)
+		if _, err := db.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBRouteCold(b *testing.B) {
+	db := benchRoutingDB(b)
+	rec, _ := db.Record(0)
+	rec.Links = append([]topology.LinkInfo(nil), rec.Links...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A load-only change keeps every min-hop route identical while
+		// still invalidating the caches, so warm and cold do the same
+		// routing work and differ only in amortization.
+		rec.Seq++
+		rec.Links[0].Load++
+		db.Update(rec)
+		src := core.NodeID(i * 31 % 256)
+		dst := core.NodeID((i*97 + 13) % 256)
+		if _, err := db.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBRouteMinLoadWarm(b *testing.B) {
+	db := benchRoutingDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := core.NodeID(i * 31 % 256)
+		dst := core.NodeID((i*97 + 13) % 256)
+		if _, err := db.RouteMinLoad(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBRouteMinLoadCold(b *testing.B) {
+	db := benchRoutingDB(b)
+	rec, _ := db.Record(0)
+	rec.Links = append([]topology.LinkInfo(nil), rec.Links...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Seq++
+		rec.Links[0].Load++
+		db.Update(rec)
+		src := core.NodeID(i * 31 % 256)
+		dst := core.NodeID((i*97 + 13) % 256)
+		if _, err := db.RouteMinLoad(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

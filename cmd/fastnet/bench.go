@@ -203,5 +203,69 @@ func benchMicro() ([]benchRow, error) {
 		return nil, fmt.Errorf("Election1024: %w", benchErr)
 	}
 	rows = append(rows, newRow("Election1024", r, 0))
+
+	routingRows, err := benchRouting()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, routingRows...), nil
+}
+
+// benchRouting measures the amortized routing plane: repeated routes between
+// topology updates (warm caches) against routes with a version bump before
+// every query (the full rebuild the pre-cache code paid each call). Mirrors
+// bench_test.go's BenchmarkDBRoute* cases.
+func benchRouting() ([]benchRow, error) {
+	freshDB := func() (*topology.DB, topology.Record, error) {
+		g := graph.GNP(256, 8.0/256, 17)
+		pm := core.NewPortMap(g)
+		db := topology.NewDB()
+		for _, r := range topology.RecordsForGraph(g, pm, nil) {
+			db.Update(r)
+		}
+		if _, err := db.Route(0, 255); err != nil {
+			return nil, topology.Record{}, err
+		}
+		rec, _ := db.Record(0)
+		// Detach from the stored record: the cold loop mutates the links.
+		rec.Links = append([]topology.LinkInfo(nil), rec.Links...)
+		return db, rec, nil
+	}
+
+	var rows []benchRow
+	for _, spec := range []struct {
+		name string
+		cold bool
+	}{
+		{"DBRouteWarm", false},
+		{"DBRouteCold", true},
+	} {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.name)
+		db, rec, err := freshDB()
+		if err != nil {
+			return nil, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if spec.cold {
+					rec.Seq++
+					rec.Links[0].Load++
+					db.Update(rec)
+				}
+				src := core.NodeID(i * 31 % 256)
+				dst := core.NodeID((i*97 + 13) % 256)
+				if _, err := db.Route(src, dst); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, benchErr)
+		}
+		rows = append(rows, newRow(spec.name, r, 0))
+	}
 	return rows, nil
 }

@@ -50,7 +50,7 @@ func E13CausalTree() (*Table, error) {
 	p := globalfn.Params{C: 1, P: 1}
 	for _, n := range []int{8, 16, 32, 64} {
 		g := graph.Complete(n)
-		buf := trace.NewBuffer()
+		buf := trace.NewSerial(0)
 		net := sim.New(g, func(id core.NodeID) core.Protocol {
 			return &wasteful{id: id}
 		}, sim.WithDelays(core.Time(p.C), core.Time(p.P)), sim.WithTrace(buf))

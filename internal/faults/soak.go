@@ -613,6 +613,7 @@ func (r *soakRun) setupCalls(epoch int) ([]callInfo, error) {
 		return nil, nil
 	}
 	live := r.st.Live()
+	trees := newTreeMemo(live)
 	var callers []core.NodeID
 	for v := 0; v < live.N(); v++ {
 		if live.Degree(core.NodeID(v)) > 0 {
@@ -622,7 +623,7 @@ func (r *soakRun) setupCalls(epoch int) ([]callInfo, error) {
 	pm := r.h.PortMap()
 	for i := 0; i < r.cfg.Calls && len(callers) > 0; i++ {
 		caller := callers[r.rng.Intn(len(callers))]
-		dist := live.Distances(caller)
+		dist := trees.tree(caller).Depth
 		var far, near []core.NodeID
 		for v := 0; v < live.N(); v++ {
 			switch {
@@ -640,7 +641,7 @@ func (r *soakRun) setupCalls(epoch int) ([]callInfo, error) {
 			continue
 		}
 		callee := pool[r.rng.Intn(len(pool))]
-		path := live.BFSTree(caller).PathFromRoot(callee)
+		path := trees.tree(caller).PathFromRoot(callee)
 		links, err := pm.RouteLinks(path)
 		if err != nil {
 			return nil, fmt.Errorf("faults: routing call path: %w", err)
@@ -674,6 +675,7 @@ func (r *soakRun) checkReliable(epoch int, profile core.MsgFaults) (bool, error)
 		return true, nil
 	}
 	live := r.st.Live()
+	trees := newTreeMemo(live)
 	var comp []core.NodeID
 	for _, c := range live.Components() {
 		if len(c) > len(comp) {
@@ -697,7 +699,7 @@ func (r *soakRun) checkReliable(epoch int, profile core.MsgFaults) (bool, error)
 			di++
 		}
 		src, dst := comp[si], comp[di]
-		path := live.BFSTree(src).PathFromRoot(dst)
+		path := trees.tree(src).PathFromRoot(dst)
 		links, err := pm.RouteLinks(path)
 		if err != nil {
 			return false, fmt.Errorf("faults: routing ledger token: %w", err)
@@ -980,4 +982,26 @@ func inducedSubgraph(g *graph.Graph, comp []core.NodeID) (*graph.Graph, []core.N
 		}
 	}
 	return sub, ids
+}
+
+// treeMemo caches BFS trees per source over one fixed live-graph snapshot,
+// so a soak phase that routes many calls or ledger tokens from the same
+// node runs one traversal instead of one per route. The memo must not
+// outlive the snapshot it was built from.
+type treeMemo struct {
+	g     *graph.Graph
+	trees map[core.NodeID]*graph.Tree
+}
+
+func newTreeMemo(g *graph.Graph) *treeMemo {
+	return &treeMemo{g: g, trees: make(map[core.NodeID]*graph.Tree)}
+}
+
+func (m *treeMemo) tree(src core.NodeID) *graph.Tree {
+	if t, ok := m.trees[src]; ok {
+		return t
+	}
+	t := m.g.BFSTree(src)
+	m.trees[src] = t
+	return t
 }

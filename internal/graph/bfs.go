@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Tree is a rooted spanning tree (or forest restricted to the root's
 // component) expressed as a parent array. Parent[root] == None and
 // Parent[u] == None for nodes outside the root's component; use Reached to
@@ -42,28 +44,77 @@ func (t *Tree) Size() int {
 
 // PathFromRoot returns the node sequence root..u, or nil if u is unreachable.
 func (t *Tree) PathFromRoot(u NodeID) []NodeID {
+	return t.PathFromRootInto(nil, u)
+}
+
+// PathFromRootInto is PathFromRoot writing into buf's backing array when it
+// is large enough, so repeated path extractions stop allocating. It returns
+// nil if u is unreachable. The depth array gives the path length up front,
+// so the path is filled destination-to-root with no reversal pass.
+func (t *Tree) PathFromRootInto(buf []NodeID, u NodeID) []NodeID {
 	if !t.Reached(u) {
 		return nil
 	}
-	var rev []NodeID
+	d := t.Depth[u]
+	if d < 0 { // Reached via Root with unset Depth cannot happen: Depth[root] = 0
+		return nil
+	}
+	var path []NodeID
+	if cap(buf) >= d+1 {
+		path = buf[:d+1]
+	} else {
+		path = make([]NodeID, d+1)
+	}
 	for v := u; v != None; v = t.Parent[v] {
-		rev = append(rev, v)
+		path[d] = v
+		d--
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	return path
 }
+
+// NextHops returns, for every node, the first hop on the tree path from the
+// root to that node (None for the root itself and for unreachable nodes).
+// The array answers "which way out of the root" in O(1) per destination.
+func (t *Tree) NextHops() []NodeID {
+	next := make([]NodeID, len(t.Parent))
+	for u := range next {
+		next[u] = None
+	}
+	for u := range t.Parent {
+		if NodeID(u) == t.Root || !t.Reached(NodeID(u)) {
+			continue
+		}
+		v := NodeID(u)
+		for t.Parent[v] != t.Root {
+			v = t.Parent[v]
+		}
+		next[u] = v
+	}
+	return next
+}
+
+// queuePool recycles BFS frontier slices across traversals. Pooling is
+// invisible in results: the frontier's contents are fully overwritten before
+// use and BFS order depends only on the adjacency lists.
+var queuePool = sync.Pool{New: func() any { return new([]NodeID) }}
 
 // BFSTree returns the breadth-first (minimum-hop) spanning tree of the
 // component containing root. Neighbors are visited in sorted order, so the
 // tree is deterministic.
 func (g *Graph) BFSTree(root NodeID) *Tree {
-	t := &Tree{
-		Root:   root,
-		Parent: make([]NodeID, g.n),
-		Depth:  make([]int, g.n),
+	return g.BFSTreeInto(nil, root)
+}
+
+// BFSTreeInto is BFSTree reusing t's backing arrays (a nil t allocates a
+// fresh tree). The frontier comes from an internal pool, so a warm call
+// allocates nothing. The returned tree is t when t was non-nil.
+func (g *Graph) BFSTreeInto(t *Tree, root NodeID) *Tree {
+	if t == nil {
+		t = &Tree{}
 	}
+	t.Root = root
+	t.Parent = resizeNodes(t.Parent, g.n)
+	t.Depth = resizeInts(t.Depth, g.n)
 	for i := range t.Parent {
 		t.Parent[i] = None
 		t.Depth[i] = -1
@@ -72,10 +123,11 @@ func (g *Graph) BFSTree(root NodeID) *Tree {
 		return t
 	}
 	t.Depth[root] = 0
-	queue := []NodeID{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	qp := queuePool.Get().(*[]NodeID)
+	queue := (*qp)[:0]
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.adj[u] {
 			if t.Depth[v] >= 0 {
 				continue
@@ -85,7 +137,26 @@ func (g *Graph) BFSTree(root NodeID) *Tree {
 			queue = append(queue, v)
 		}
 	}
+	*qp = queue[:0]
+	queuePool.Put(qp)
 	return t
+}
+
+// resizeNodes returns s with length n, reusing its backing array when large
+// enough.
+func resizeNodes(s []NodeID, n int) []NodeID {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]NodeID, n)
+}
+
+// resizeInts is resizeNodes for int slices.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // Distances returns hop distances from root (-1 for unreachable nodes).

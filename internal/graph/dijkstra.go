@@ -1,6 +1,9 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync"
+)
 
 // WeightFunc assigns a positive cost to traversing edge {u, v}. Weights
 // must be symmetric.
@@ -10,12 +13,30 @@ type WeightFunc func(u, v NodeID) int64
 // given edge weights (Dijkstra). Dist is -1 for unreachable nodes.
 // Non-positive weights are treated as 1.
 func (g *Graph) ShortestTree(root NodeID, weight WeightFunc) (*Tree, []int64) {
-	t := &Tree{
-		Root:   root,
-		Parent: make([]NodeID, g.n),
-		Depth:  make([]int, g.n),
+	return g.ShortestTreeInto(nil, nil, root, weight)
+}
+
+// distHeapPool recycles priority-queue slices across Dijkstra runs. Pop order
+// depends only on the pushed (node, dist) entries, so pooling is invisible in
+// results.
+var distHeapPool = sync.Pool{New: func() any { return new(distHeap) }}
+
+// ShortestTreeInto is ShortestTree reusing t's backing arrays and dist's
+// backing array (nil values allocate fresh). The priority queue comes from an
+// internal pool, so a warm call allocates nothing beyond what the caller
+// passed in.
+func (g *Graph) ShortestTreeInto(t *Tree, dist []int64, root NodeID, weight WeightFunc) (*Tree, []int64) {
+	if t == nil {
+		t = &Tree{}
 	}
-	dist := make([]int64, g.n)
+	t.Root = root
+	t.Parent = resizeNodes(t.Parent, g.n)
+	t.Depth = resizeInts(t.Depth, g.n)
+	if cap(dist) >= g.n {
+		dist = dist[:g.n]
+	} else {
+		dist = make([]int64, g.n)
+	}
 	for i := range t.Parent {
 		t.Parent[i] = None
 		t.Depth[i] = -1
@@ -26,9 +47,12 @@ func (g *Graph) ShortestTree(root NodeID, weight WeightFunc) (*Tree, []int64) {
 	}
 	dist[root] = 0
 	t.Depth[root] = 0
-	pq := &distHeap{{node: root, dist: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(distEntry)
+	pqp := distHeapPool.Get().(*distHeap)
+	pq := (*pqp)[:0]
+	pq = append(pq, distEntry{node: root, dist: 0})
+	*pqp = pq
+	for pqp.Len() > 0 {
+		cur := heap.Pop(pqp).(distEntry)
 		if cur.dist > dist[cur.node] {
 			continue // stale entry
 		}
@@ -42,10 +66,12 @@ func (g *Graph) ShortestTree(root NodeID, weight WeightFunc) (*Tree, []int64) {
 				dist[v] = nd
 				t.Parent[v] = cur.node
 				t.Depth[v] = t.Depth[cur.node] + 1
-				heap.Push(pq, distEntry{node: v, dist: nd})
+				heap.Push(pqp, distEntry{node: v, dist: nd})
 			}
 		}
 	}
+	*pqp = (*pqp)[:0]
+	distHeapPool.Put(pqp)
 	return t, dist
 }
 

@@ -54,6 +54,27 @@ func New(n int) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
+// Reset re-dimensions g to an empty graph on n nodes, keeping the adjacency
+// backing arrays and edge-set buckets for reuse. A Reset graph is
+// indistinguishable from New(n).
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		adj := make([][]NodeID, n)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+	clear(g.eset)
+}
+
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.eset) }
 

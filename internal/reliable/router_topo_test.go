@@ -1,0 +1,83 @@
+package reliable_test
+
+import (
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/reliable"
+	"fastnet/internal/topology"
+)
+
+// TestTopologyRouterFrom wires the topology database's cached routing plane
+// into the reliable endpoint's Router shape: early attempts retransmit over
+// the min-hop route, later attempts switch to the load-weighted alternate,
+// and a topology change between attempts re-routes because the adapter
+// re-reads the live database instead of capturing a header.
+func TestTopologyRouterFrom(t *testing.T) {
+	g := graph.Ring(4)
+	pm := core.NewPortMap(g)
+	db := topology.NewDB()
+	recs := topology.RecordsForGraph(g, pm, nil)
+	for _, r := range recs {
+		db.Update(r)
+	}
+	// Load the 0-1 link so the min-load route 0->2 goes via 3 instead.
+	for _, r := range recs {
+		if r.Node == 0 {
+			for i := range r.Links {
+				if r.Links[i].Neighbor == 1 {
+					r.Links[i].Load = 10
+				}
+			}
+			r.Seq++
+			db.Update(r)
+		}
+	}
+
+	var router reliable.Router = db.RouterFrom(0)
+
+	wantHop, err := db.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoad, err := db.RouteMinLoad(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantHop[0] == wantLoad[0] {
+		t.Fatalf("test graph did not separate the metrics: both routes start with %+v", wantHop[0])
+	}
+
+	for attempt := 0; attempt < 4; attempt++ {
+		h, ok := router(2, attempt)
+		if !ok {
+			t.Fatalf("attempt %d: no route", attempt)
+		}
+		want := wantHop
+		if attempt >= 2 {
+			want = wantLoad
+		}
+		if len(h) != len(want) || h[0] != want[0] {
+			t.Fatalf("attempt %d: route %v, want %v", attempt, h, want)
+		}
+	}
+
+	if _, ok := router(17, 0); ok {
+		t.Fatal("route to an unknown node must report no route")
+	}
+
+	// Fail link 0-1: every subsequent attempt must re-route via 3.
+	down := map[graph.Edge]bool{graph.Edge{U: 0, V: 1}.Canon(): true}
+	for _, r := range topology.RecordsForGraph(g, pm, down) {
+		r.Seq = 5
+		db.Update(r)
+	}
+	h, ok := router(2, 0)
+	if !ok {
+		t.Fatal("re-route after link failure failed")
+	}
+	if h[0] != wantLoad[0] {
+		t.Fatalf("after 0-1 failure the route must leave via node 3's link: got %v", h)
+	}
+}

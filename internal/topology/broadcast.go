@@ -50,6 +50,17 @@ type Broadcast struct {
 	// application stays unconditional: Update is idempotent by sequence.
 	fwd map[core.NodeID]uint64
 
+	// Cached branching-path route specs, valid while the database version
+	// holds: a quiet round refreshes only the local record's sequence
+	// number, which leaves the version (and thus the decomposition) intact,
+	// so steady-state broadcasts reuse the same specs with no tree or
+	// decomposition work. Receivers treat Msg as immutable, so the slice is
+	// safely shared across rounds.
+	specs    []RouteSpec
+	specsErr error
+	specsAt  uint64
+	specsOK  bool
+
 	// Stats for experiments.
 	Broadcasts int
 	Forwards   int
@@ -116,17 +127,11 @@ func (b *Broadcast) startBroadcast(env core.Env) {
 	b.refresh(env)
 	b.Broadcasts++
 
-	view := b.db.View()
-	if int(b.id) >= view.N() {
-		return // knows nothing beyond itself
-	}
-	tree := view.BFSTree(b.id)
-	labels := paths.Labels(tree)
-	dec := paths.Decompose(tree, labels)
-	routes, err := b.routeSpecs(dec)
-	if err != nil {
-		// A stale view can name links the origin has no record for; skip
-		// this broadcast round, later rounds repair the view.
+	routes, ok := b.cachedRoutes()
+	if !ok {
+		// Knows nothing beyond itself, or a stale view names links the
+		// origin has no record for; skip this broadcast round, later rounds
+		// repair the view.
 		return
 	}
 	msg := &Msg{Origin: b.id, Seq: b.seq, Routes: routes}
@@ -137,6 +142,30 @@ func (b *Broadcast) startBroadcast(env core.Env) {
 		msg.Recs = []Record{rec}
 	}
 	b.forward(env, msg)
+}
+
+// cachedRoutes returns the branching-path route specs for the current
+// database version, recomputing the tree and decomposition only when the
+// believed topology actually changed.
+func (b *Broadcast) cachedRoutes() ([]RouteSpec, bool) {
+	if v := b.db.Version(); !b.specsOK || b.specsAt != v {
+		b.specs, b.specsErr = b.computeRoutes()
+		b.specsAt = v
+		b.specsOK = true
+	}
+	return b.specs, b.specsErr == nil
+}
+
+// computeRoutes builds the route specs from scratch: branching-path
+// decomposition of the cached minimum-hop tree rooted here.
+func (b *Broadcast) computeRoutes() ([]RouteSpec, error) {
+	if int(b.id) >= b.db.View().N() {
+		return nil, fmt.Errorf("topology: node %d knows nothing beyond itself", b.id)
+	}
+	tree := b.db.BFSTree(b.id)
+	labels := paths.Labels(tree)
+	dec := paths.Decompose(tree, labels)
+	return b.routeSpecs(dec)
 }
 
 // routeSpecs converts a decomposition into wire route specs using the

@@ -8,6 +8,8 @@ package topology
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"fastnet/internal/anr"
 	"fastnet/internal/core"
@@ -100,82 +102,287 @@ func (l *localTopo) snapshot(env core.Env) {
 	l.db.Update(recordFromPorts(l.id, l.seq, env.Ports(), l.loads))
 }
 
-// DB is one node's view of the network topology: the newest Record per node.
+// DB is one node's view of the network topology: the newest Record per node,
+// behind an amortized routing plane. Control software computes routes from
+// its map far more often than the map changes (the paper's §2–3 division of
+// labor: software plans, hardware executes), so everything derived from the
+// records — the materialized view graph, per-source BFS and min-load trees,
+// and finished ANR headers — is cached and invalidated by a monotonic
+// version counter that only routing-relevant changes bump. Re-installing a
+// record whose links are unchanged (the per-round refresh of a quiet node)
+// advances the sequence number without invalidating anything.
+//
+// All cached results — View, BFSTree, Route and RouteMinLoad headers — are
+// shared with the caller and must be treated as immutable.
 type DB struct {
-	recs map[core.NodeID]Record
+	version uint64 // bumped on every routing-relevant change
+
+	// Packed record store: one entry per known node (memory stays
+	// O(records) even though every node of a big network keeps its own DB).
+	// Lookup is a linear scan while the store is small — the common case
+	// for the per-node databases built during convergence — and switches to
+	// the slot map once the store outgrows slotThreshold.
+	ents []entry
+	slot map[core.NodeID]int32 // nil until len(ents) > slotThreshold
+
+	// The materialized believed-topology graph, rebuilt in place (Reset +
+	// refill) when the version moves.
+	view   *graph.Graph
+	viewAt uint64
+	viewOK bool
+
+	// Per-source route caches, all valid for cacheAt == version only:
+	// min-hop trees, load-weighted trees with their distance arrays, and
+	// finished headers (including negative results) per (src, dst) pair.
+	cacheAt   uint64
+	cacheOK   bool
+	trees     map[core.NodeID]*graph.Tree
+	loadTrees map[core.NodeID]*loadTree
+	routes    map[pairKey]routeResult
+	loadRts   map[pairKey]routeResult
+
+	// Scratch recycled across cache invalidations.
+	treePool  []*graph.Tree
+	ltreePool []*loadTree
+	pathBuf   []core.NodeID
 }
+
+// loadTree is one cached load-weighted shortest-path tree.
+type loadTree struct {
+	tree *graph.Tree
+	dist []int64
+}
+
+// routeResult memoizes one Route/RouteMinLoad outcome, error included.
+type routeResult struct {
+	h   anr.Header
+	err error
+}
+
+// pairKey packs a (src, dst) pair for the header caches.
+type pairKey uint64
+
+func pair(src, dst core.NodeID) pairKey {
+	return pairKey(uint64(uint32(src))<<32 | uint64(uint32(dst)))
+}
+
+// entry is one stored record plus its adjacency index: indices into
+// rec.Links sorted by (Neighbor, index), built only for high-degree records,
+// making link lookups O(log d) while leaving the wire-visible Record
+// untouched.
+type entry struct {
+	rec Record
+	idx []int32
+}
+
+// slotThreshold is the store size above which node lookups go through the
+// slot map. Below it a linear scan over the packed entries is faster than a
+// map probe — and skipping the map entirely keeps small databases (each node
+// of an n-node network holds one) free of map-bucket allocations.
+const slotThreshold = 16
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{recs: make(map[core.NodeID]Record)}
+	return &DB{}
+}
+
+// slotOf returns the store slot holding u's record.
+func (db *DB) slotOf(u core.NodeID) (int32, bool) {
+	if db.slot != nil {
+		s, ok := db.slot[u]
+		return s, ok
+	}
+	for s := range db.ents {
+		if db.ents[s].rec.Node == u {
+			return int32(s), true
+		}
+	}
+	return 0, false
+}
+
+// Version returns the routing-plane version: it advances exactly when a
+// routing-relevant change lands (a record with different links, or a node
+// heard from for the first time), so equal versions guarantee equal views,
+// trees and routes.
+func (db *DB) Version() uint64 { return db.version }
+
+// linksEqual reports whether two link lists are identical, element for
+// element (LinkInfo is comparable).
+func linksEqual(a, b []LinkInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexThreshold is the degree below which findLink scans the link list
+// directly: for the short records typical of real topologies the scan beats
+// the index, and skipping the index keeps the per-record cost of Update at
+// zero extra allocations.
+const indexThreshold = 8
+
+// reindex rebuilds the sorted adjacency index of slot s.
+func (db *DB) reindex(s int32) {
+	links := db.ents[s].rec.Links
+	if len(links) < indexThreshold {
+		if db.ents[s].idx != nil {
+			db.ents[s].idx = db.ents[s].idx[:0]
+		}
+		return
+	}
+	idx := db.ents[s].idx[:0]
+	if cap(idx) < len(links) {
+		idx = make([]int32, 0, len(links))
+	}
+	for i := range links {
+		idx = append(idx, int32(i))
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		la, lb := links[a].Neighbor, links[b].Neighbor
+		if la != lb {
+			return int(la) - int(lb)
+		}
+		return int(a) - int(b) // ties keep record order: first match = lowest index
+	})
+	db.ents[s].idx = idx
 }
 
 // Update installs rec if it is newer than the stored record for its node and
 // reports whether anything changed.
 func (db *DB) Update(rec Record) bool {
-	old, ok := db.recs[rec.Node]
-	if ok && old.Seq >= rec.Seq {
+	s, known := db.slotOf(rec.Node)
+	if !known {
+		s = int32(len(db.ents))
+		if db.ents == nil {
+			// A typical per-node database holds a handful of records; one
+			// small allocation covers the usual lifetime.
+			db.ents = make([]entry, 0, 4)
+		}
+		db.ents = append(db.ents, entry{rec: Record{Node: rec.Node}})
+		if db.slot != nil {
+			db.slot[rec.Node] = s
+		} else if len(db.ents) > slotThreshold {
+			db.slot = make(map[core.NodeID]int32, 2*len(db.ents))
+			for i := range db.ents {
+				db.slot[db.ents[i].rec.Node] = int32(i)
+			}
+		}
+	} else if db.ents[s].rec.Seq >= rec.Seq {
 		return false
+	} else if linksEqual(db.ents[s].rec.Links, rec.Links) {
+		// A pure sequence-number refresh leaves every derived structure
+		// valid: keep the version, and with it every cache.
+		db.ents[s].rec.Seq = rec.Seq
+		return true
 	}
-	db.recs[rec.Node] = rec.clone()
+	// Reuse the stored record's link array when possible.
+	stored := db.ents[s].rec.Links[:0]
+	db.ents[s].rec = Record{Node: rec.Node, Seq: rec.Seq, Links: append(stored, rec.Links...)}
+	db.reindex(s)
+	db.version++
 	return true
+}
+
+// findLink returns the first link of u's record toward v (first in record
+// order, matching a linear scan) and whether u's record exists at all.
+func (db *DB) findLink(u, v core.NodeID) (LinkInfo, bool, bool) {
+	s, known := db.slotOf(u)
+	if !known {
+		return LinkInfo{}, false, false
+	}
+	links := db.ents[s].rec.Links
+	if idx := db.ents[s].idx; len(idx) > 0 {
+		i := sort.Search(len(idx), func(i int) bool { return links[idx[i]].Neighbor >= v })
+		if i < len(idx) && links[idx[i]].Neighbor == v {
+			return links[idx[i]], true, true
+		}
+		return LinkInfo{}, false, true
+	}
+	for _, l := range links {
+		if l.Neighbor == v {
+			return l, true, true
+		}
+	}
+	return LinkInfo{}, false, true
 }
 
 // Record returns the stored record for u.
 func (db *DB) Record(u core.NodeID) (Record, bool) {
-	r, ok := db.recs[u]
-	return r, ok
+	s, known := db.slotOf(u)
+	if !known {
+		return Record{}, false
+	}
+	return db.ents[s].rec, true
 }
 
-// Records returns all stored records, one per node, in unspecified order.
+// Records returns all stored records, one per node, in ascending node order.
 func (db *DB) Records() []Record {
-	out := make([]Record, 0, len(db.recs))
-	for _, r := range db.recs {
-		out = append(out, r.clone())
+	out := make([]Record, 0, len(db.ents))
+	for i := range db.ents {
+		out = append(out, db.ents[i].rec.clone())
 	}
+	slices.SortFunc(out, func(a, b Record) int { return int(a.Node) - int(b.Node) })
 	return out
 }
 
 // Len returns the number of nodes with a stored record.
-func (db *DB) Len() int { return len(db.recs) }
+func (db *DB) Len() int { return len(db.ents) }
 
 // LinkID returns u's local link ID toward v according to the stored
 // records. Either endpoint's record suffices: u's record names the ID
-// directly, v's record carries it as the remote ID.
+// directly, v's record carries it as the remote ID — including when u's
+// record exists but is stale and omits v (the stale record must not mask
+// the remote ID v's record carries).
 func (db *DB) LinkID(u, v core.NodeID) (anr.ID, bool) {
-	if r, ok := db.recs[u]; ok {
-		for _, l := range r.Links {
-			if l.Neighbor == v {
-				return l.Local, true
-			}
-		}
-		return 0, false
+	if l, found, _ := db.findLink(u, v); found {
+		return l.Local, true
 	}
-	if r, ok := db.recs[v]; ok {
-		for _, l := range r.Links {
-			if l.Neighbor == u {
-				return l.Remote, true
-			}
-		}
+	if l, found, _ := db.findLink(v, u); found {
+		return l.Remote, true
 	}
 	return 0, false
 }
 
 // Route builds an ANR source route from src to dst over a minimum-hop path
 // of the believed topology. This is the model's division of labor: control
-// software computes routes from its map, the hardware executes them.
+// software computes routes from its map, the hardware executes them. The
+// returned header is cached and shared: callers must not modify it.
 func (db *DB) Route(src, dst core.NodeID) (anr.Header, error) {
 	if src == dst {
 		return anr.Local(), nil
 	}
+	db.ensureCaches()
+	key := pair(src, dst)
+	if r, ok := db.routes[key]; ok {
+		return r.h, r.err
+	}
+	h, err := db.routeMinHop(src, dst)
+	db.routes[key] = routeResult{h: h, err: err}
+	return h, err
+}
+
+// routeMinHop is the uncached Route body, run once per (version, src, dst).
+func (db *DB) routeMinHop(src, dst core.NodeID) (anr.Header, error) {
 	view := db.View()
 	if int(src) >= view.N() || int(dst) >= view.N() {
 		return nil, fmt.Errorf("topology: no route %d->%d: unknown node", src, dst)
 	}
-	path := view.BFSTree(src).PathFromRoot(dst)
+	path := db.BFSTree(src).PathFromRootInto(db.pathBuf, dst)
 	if path == nil {
 		return nil, fmt.Errorf("topology: no route %d->%d in the believed topology", src, dst)
 	}
+	db.pathBuf = path[:0]
+	return db.headerFor(path)
+}
+
+// headerFor converts a node path into an ANR header via the link IDs of the
+// stored records.
+func (db *DB) headerFor(path []core.NodeID) (anr.Header, error) {
 	links := make([]anr.ID, 0, len(path)-1)
 	for i := 0; i+1 < len(path); i++ {
 		lid, ok := db.LinkID(path[i], path[i+1])
@@ -187,23 +394,39 @@ func (db *DB) Route(src, dst core.NodeID) (anr.Header, error) {
 	return anr.Direct(links), nil
 }
 
+// maxLoadToward returns the largest reported load among all of u's links
+// toward v (records may carry duplicate entries for one neighbor; the sorted
+// index keeps them contiguous).
+func (db *DB) maxLoadToward(u, v core.NodeID) uint32 {
+	s, known := db.slotOf(u)
+	if !known {
+		return 0
+	}
+	links := db.ents[s].rec.Links
+	var load uint32
+	if idx := db.ents[s].idx; len(idx) > 0 {
+		i := sort.Search(len(idx), func(i int) bool { return links[idx[i]].Neighbor >= v })
+		for ; i < len(idx) && links[idx[i]].Neighbor == v; i++ {
+			if l := links[idx[i]].Load; l > load {
+				load = l
+			}
+		}
+		return load
+	}
+	for _, l := range links {
+		if l.Neighbor == v && l.Load > load {
+			load = l.Load
+		}
+	}
+	return load
+}
+
 // LoadOf returns the believed load of edge {u, v}: the maximum of the two
 // endpoints' reports (0 if neither endpoint reported).
 func (db *DB) LoadOf(u, v core.NodeID) uint32 {
-	var load uint32
-	if r, ok := db.recs[u]; ok {
-		for _, l := range r.Links {
-			if l.Neighbor == v && l.Load > load {
-				load = l.Load
-			}
-		}
-	}
-	if r, ok := db.recs[v]; ok {
-		for _, l := range r.Links {
-			if l.Neighbor == u && l.Load > load {
-				load = l.Load
-			}
-		}
+	load := db.maxLoadToward(u, v)
+	if l := db.maxLoadToward(v, u); l > load {
+		load = l
 	}
 	return load
 }
@@ -211,41 +434,143 @@ func (db *DB) LoadOf(u, v core.NodeID) uint32 {
 // RouteMinLoad builds an ANR route from src to dst minimizing the summed
 // link costs (each hop costs 1 + load) — the routing use the paper gives
 // for the disseminated load condition (§3: broadcasts carry "the adjacent
-// links' states and loads").
+// links' states and loads"). The returned header is cached and shared:
+// callers must not modify it.
 func (db *DB) RouteMinLoad(src, dst core.NodeID) (anr.Header, error) {
 	if src == dst {
 		return anr.Local(), nil
 	}
+	db.ensureCaches()
+	key := pair(src, dst)
+	if r, ok := db.loadRts[key]; ok {
+		return r.h, r.err
+	}
+	h, err := db.routeMinLoad(src, dst)
+	db.loadRts[key] = routeResult{h: h, err: err}
+	return h, err
+}
+
+// routeMinLoad is the uncached RouteMinLoad body.
+func (db *DB) routeMinLoad(src, dst core.NodeID) (anr.Header, error) {
 	view := db.View()
 	if int(src) >= view.N() || int(dst) >= view.N() {
 		return nil, fmt.Errorf("topology: no route %d->%d: unknown node", src, dst)
 	}
-	tree, dist := view.ShortestTree(src, func(u, v core.NodeID) int64 {
-		return 1 + int64(db.LoadOf(u, v))
-	})
-	if dist[dst] < 0 {
+	lt := db.minLoadTree(src)
+	if lt.dist[dst] < 0 {
 		return nil, fmt.Errorf("topology: no route %d->%d in the believed topology", src, dst)
 	}
-	path := tree.PathFromRoot(dst)
-	links := make([]anr.ID, 0, len(path)-1)
-	for i := 0; i+1 < len(path); i++ {
-		lid, ok := db.LinkID(path[i], path[i+1])
-		if !ok {
-			return nil, fmt.Errorf("topology: believed edge %d-%d has no known link ID", path[i], path[i+1])
-		}
-		links = append(links, lid)
+	path := lt.tree.PathFromRootInto(db.pathBuf, dst)
+	db.pathBuf = path[:0]
+	return db.headerFor(path)
+}
+
+// ensureCaches makes the per-source caches valid for the current version,
+// recycling the previous generation's trees as scratch.
+func (db *DB) ensureCaches() {
+	if db.cacheOK && db.cacheAt == db.version {
+		return
 	}
-	return anr.Direct(links), nil
+	if db.trees == nil {
+		db.trees = make(map[core.NodeID]*graph.Tree)
+		db.loadTrees = make(map[core.NodeID]*loadTree)
+		db.routes = make(map[pairKey]routeResult)
+		db.loadRts = make(map[pairKey]routeResult)
+	} else {
+		for _, t := range db.trees {
+			db.treePool = append(db.treePool, t)
+		}
+		for _, lt := range db.loadTrees {
+			db.ltreePool = append(db.ltreePool, lt)
+		}
+		clear(db.trees)
+		clear(db.loadTrees)
+		clear(db.routes)
+		clear(db.loadRts)
+	}
+	db.cacheAt = db.version
+	db.cacheOK = true
+}
+
+// BFSTree returns the minimum-hop spanning tree of the believed topology
+// rooted at src, cached per (version, source). The tree is shared: callers
+// must not modify it.
+func (db *DB) BFSTree(src core.NodeID) *graph.Tree {
+	db.ensureCaches()
+	if t, ok := db.trees[src]; ok {
+		return t
+	}
+	var t *graph.Tree
+	if n := len(db.treePool); n > 0 {
+		t = db.treePool[n-1]
+		db.treePool = db.treePool[:n-1]
+	}
+	t = db.View().BFSTreeInto(t, src)
+	db.trees[src] = t
+	return t
+}
+
+// minLoadTree returns the load-weighted shortest-path tree rooted at src,
+// cached per (version, source).
+func (db *DB) minLoadTree(src core.NodeID) *loadTree {
+	db.ensureCaches()
+	if lt, ok := db.loadTrees[src]; ok {
+		return lt
+	}
+	var lt *loadTree
+	if n := len(db.ltreePool); n > 0 {
+		lt = db.ltreePool[n-1]
+		db.ltreePool = db.ltreePool[:n-1]
+	} else {
+		lt = &loadTree{}
+	}
+	lt.tree, lt.dist = db.View().ShortestTreeInto(lt.tree, lt.dist, src, func(u, v core.NodeID) int64 {
+		return 1 + int64(db.LoadOf(u, v))
+	})
+	db.loadTrees[src] = lt
+	return lt
+}
+
+// RouterFrom adapts the cached plane to the reliable package's per-attempt
+// Router shape for the node src: the first attempts retransmit over the
+// cached minimum-hop route, and from the third attempt on the supplier
+// switches to the load-weighted route as the alternate path (both re-read
+// the current version, so a topology update between attempts re-routes).
+func (db *DB) RouterFrom(src core.NodeID) func(dst core.NodeID, attempt int) (anr.Header, bool) {
+	return func(dst core.NodeID, attempt int) (anr.Header, bool) {
+		route := db.Route
+		if attempt >= 2 {
+			route = db.RouteMinLoad
+		}
+		h, err := route(src, dst)
+		if err != nil {
+			// Fall back to the other metric before giving up: a header over
+			// a worse path beats aborting the frame.
+			if attempt >= 2 {
+				h, err = db.Route(src, dst)
+			}
+			if err != nil {
+				return nil, false
+			}
+		}
+		return h, true
+	}
 }
 
 // View materializes the believed topology as a graph: the edge {u, v} is
 // present iff u's record lists v as up and v's record (if known) agrees.
-// The graph is sized to hold the largest known node ID.
+// The graph is sized to hold the largest known node ID. It is rebuilt only
+// when the version moves and is shared between calls: callers must not
+// modify it.
 func (db *DB) View() *graph.Graph {
+	if db.viewOK && db.viewAt == db.version {
+		return db.view
+	}
 	max := core.NodeID(-1)
-	for u, r := range db.recs {
-		if u > max {
-			max = u
+	for s := range db.ents {
+		r := &db.ents[s].rec
+		if r.Node > max {
+			max = r.Node
 		}
 		for _, l := range r.Links {
 			if l.Neighbor > max {
@@ -253,31 +578,27 @@ func (db *DB) View() *graph.Graph {
 			}
 		}
 	}
-	g := graph.New(int(max) + 1)
-	up := func(u, v core.NodeID) (bool, bool) { // (up, known)
-		r, ok := db.recs[u]
-		if !ok {
-			return false, false
-		}
-		for _, l := range r.Links {
-			if l.Neighbor == v {
-				return l.Up, true
-			}
-		}
-		return false, true // known record, link not listed: down/absent
+	if db.view == nil {
+		db.view = graph.New(int(max) + 1)
+	} else {
+		db.view.Reset(int(max) + 1)
 	}
-	for u, r := range db.recs {
+	for s := range db.ents {
+		r := &db.ents[s].rec
 		for _, l := range r.Links {
 			if !l.Up {
 				continue
 			}
-			vUp, vKnown := up(l.Neighbor, u)
-			if !vKnown || vUp {
-				g.MustAddEdge(u, l.Neighbor) // idempotent for the reverse pass
+			rev, revFound, revKnown := db.findLink(l.Neighbor, r.Node)
+			vUp := revFound && rev.Up
+			if !revKnown || vUp {
+				db.view.MustAddEdge(r.Node, l.Neighbor) // idempotent for the reverse pass
 			}
 		}
 	}
-	return g
+	db.viewAt = db.version
+	db.viewOK = true
+	return db.view
 }
 
 // KnowsNodes reports whether, for every listed node, the database holds a
@@ -285,7 +606,7 @@ func (db *DB) View() *graph.Graph {
 // of failed edges (canonical form).
 func (db *DB) KnowsNodes(nodes []core.NodeID, g *graph.Graph, down map[graph.Edge]bool) bool {
 	for _, u := range nodes {
-		rec, ok := db.recs[u]
+		rec, ok := db.Record(u)
 		if !ok {
 			return false
 		}

@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+)
+
+// diffModel drives one long-lived cached DB and a shadow copy of the ground
+// truth. After every mutation a brand-new DB is rebuilt from the shadow
+// records, so each query is answered twice — once by the warm caches, once
+// by a cold database that cannot possibly hold stale state — and the two
+// answers must agree exactly. Any cache-invalidation bug in the routing
+// plane shows up as a divergence.
+type diffModel struct {
+	n      int
+	cached *DB
+	links  [][]LinkInfo // shadow: current link list per node
+	seq    []uint64
+}
+
+func newDiffModel(n int) *diffModel {
+	return &diffModel{
+		n:      n,
+		cached: NewDB(),
+		links:  make([][]LinkInfo, n),
+		seq:    make([]uint64, n),
+	}
+}
+
+// install pushes node u's shadow links into the cached DB with a fresh seq.
+func (m *diffModel) install(u int) {
+	m.seq[u]++
+	m.cached.Update(Record{
+		Node:  core.NodeID(u),
+		Seq:   m.seq[u],
+		Links: append([]LinkInfo(nil), m.links[u]...),
+	})
+}
+
+// fresh rebuilds an uncached DB from the shadow state.
+func (m *diffModel) fresh() *DB {
+	db := NewDB()
+	for u := 0; u < m.n; u++ {
+		if m.seq[u] == 0 {
+			continue
+		}
+		db.Update(Record{
+			Node:  core.NodeID(u),
+			Seq:   m.seq[u],
+			Links: append([]LinkInfo(nil), m.links[u]...),
+		})
+	}
+	return db
+}
+
+// step applies one byte-coded mutation. Neighbors are always distinct from
+// the owner: records come from real ports, which never report self-loops
+// (the view graph rejects them).
+func (m *diffModel) step(op, a, b, c byte) {
+	u := int(a) % m.n
+	v := int(b) % m.n
+	if v == u {
+		v = (v + 1) % m.n
+	}
+	switch op % 4 {
+	case 0: // append a link toward v (duplicates toward one neighbor allowed)
+		m.links[u] = append(m.links[u], LinkInfo{
+			Local:    anr.ID(1 + u*8 + len(m.links[u])),
+			Remote:   anr.ID(1 + v*8 + int(c)%4),
+			Neighbor: core.NodeID(v),
+			Up:       c%2 == 0,
+			Load:     uint32(c) % 7,
+		})
+		if len(m.links[u]) > 6 {
+			m.links[u] = m.links[u][1:]
+		}
+		m.install(u)
+	case 1: // flip one of u's links
+		if len(m.links[u]) > 0 {
+			i := int(c) % len(m.links[u])
+			m.links[u][i].Up = !m.links[u][i].Up
+			m.install(u)
+		}
+	case 2: // set a load
+		if len(m.links[u]) > 0 {
+			i := int(c) % len(m.links[u])
+			m.links[u][i].Load = uint32(c)
+			m.install(u)
+		}
+	case 3: // re-announce unchanged (seq-only refresh: must not stale anything)
+		if m.seq[u] > 0 {
+			m.install(u)
+		}
+	}
+}
+
+// sameRoute compares one (header, error) pair from the cached DB against the
+// cold recomputation.
+func sameRoute(t *testing.T, name string, u, v int, gh anr.Header, gerr error, wh anr.Header, werr error) {
+	t.Helper()
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s(%d,%d) error = %v, want %v", name, u, v, gerr, werr)
+	}
+	if gerr != nil {
+		if gerr.Error() != werr.Error() {
+			t.Fatalf("%s(%d,%d) error = %q, want %q", name, u, v, gerr, werr)
+		}
+		return
+	}
+	if len(gh) != len(wh) {
+		t.Fatalf("%s(%d,%d) = %v, want %v", name, u, v, gh, wh)
+	}
+	for i := range wh {
+		if gh[i] != wh[i] {
+			t.Fatalf("%s(%d,%d) hop %d = %+v, want %+v", name, u, v, i, gh[i], wh[i])
+		}
+	}
+}
+
+// check compares every pairwise query between the cached and a fresh DB.
+func (m *diffModel) check(t *testing.T) {
+	t.Helper()
+	cold := m.fresh()
+	if got, want := m.cached.View(), cold.View(); !got.Equal(want) {
+		t.Fatalf("cached view diverged: %d nodes/%d edges, want %d/%d",
+			got.N(), got.M(), want.N(), want.M())
+	}
+	if m.cached.Len() != cold.Len() {
+		t.Fatalf("Len = %d, want %d", m.cached.Len(), cold.Len())
+	}
+	for u := 0; u < m.n; u++ {
+		for v := 0; v < m.n; v++ {
+			src, dst := core.NodeID(u), core.NodeID(v)
+			gl, gok := m.cached.LinkID(src, dst)
+			wl, wok := cold.LinkID(src, dst)
+			if gl != wl || gok != wok {
+				t.Fatalf("LinkID(%d,%d) = (%d,%v), want (%d,%v)", u, v, gl, gok, wl, wok)
+			}
+			if gd, wd := m.cached.LoadOf(src, dst), cold.LoadOf(src, dst); gd != wd {
+				t.Fatalf("LoadOf(%d,%d) = %d, want %d", u, v, gd, wd)
+			}
+			gh, gerr := m.cached.Route(src, dst)
+			wh, werr := cold.Route(src, dst)
+			sameRoute(t, "Route", u, v, gh, gerr, wh, werr)
+			gh, gerr = m.cached.RouteMinLoad(src, dst)
+			wh, werr = cold.RouteMinLoad(src, dst)
+			sameRoute(t, "RouteMinLoad", u, v, gh, gerr, wh, werr)
+		}
+	}
+}
+
+// runDiff drives the model with the given byte script.
+func runDiff(t *testing.T, data []byte, n int) {
+	t.Helper()
+	m := newDiffModel(n)
+	for i := 0; i+4 <= len(data); i += 4 {
+		m.step(data[i], data[i+1], data[i+2], data[i+3])
+		m.check(t)
+	}
+}
+
+func TestRoutingPlaneDifferential(t *testing.T) {
+	// A deterministic pseudo-random script, long enough to cycle through
+	// many cache generations, seq-only refreshes and link flips.
+	data := make([]byte, 4*120)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i+8 <= len(data); i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(data[i:], x)
+	}
+	runDiff(t, data, 9)
+}
+
+func FuzzRoutingPlane(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 2, 1, 1, 1, 1, 2, 0, 3, 1, 0, 0})
+	f.Add([]byte{0, 0, 1, 2, 0, 1, 0, 2, 1, 0, 1, 1, 2, 0, 1, 5, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4*64 {
+			data = data[:4*64]
+		}
+		runDiff(t, data, 7)
+	})
+}

@@ -67,6 +67,35 @@ func TestDBRouteNoPath(t *testing.T) {
 	}
 }
 
+// Regression: LinkID must fall through to the neighbor's record when the
+// near end's record exists but is stale and omits the link. Before the fix
+// the mere presence of u's record cut the search short, masking the remote
+// ID that v's record carries — violating LinkID's "either endpoint's record
+// suffices" contract. (The two-sided View admission rule happens to keep
+// such edges out of routes today, but LinkID is also queried directly by
+// the broadcast planners and must honor its contract on its own.)
+func TestDBLinkIDStaleRecordFallThrough(t *testing.T) {
+	db := NewDB()
+	// Node 0's record is stale: it predates the 0-1 link and lists only 0-2.
+	db.Update(Record{Node: 0, Seq: 1, Links: []LinkInfo{
+		{Local: 5, Remote: 9, Neighbor: 2, Up: true},
+	}})
+	// Node 1's record knows the 0-1 link; Remote is 0's local ID for it.
+	db.Update(Record{Node: 1, Seq: 3, Links: []LinkInfo{
+		{Local: 2, Remote: 7, Neighbor: 0, Up: true},
+	}})
+	if lid, ok := db.LinkID(0, 1); !ok || lid != 7 {
+		t.Fatalf("LinkID(0,1) = (%d,%v), want (7,true) via node 1's record", lid, ok)
+	}
+	if lid, ok := db.LinkID(1, 0); !ok || lid != 2 {
+		t.Fatalf("LinkID(1,0) = (%d,%v), want (2,true)", lid, ok)
+	}
+	// A pair neither record covers still reports not-found.
+	if _, ok := db.LinkID(0, 3); ok {
+		t.Fatal("LinkID(0,3) must be not-found")
+	}
+}
+
 // Property: every Route over a full database is executable by the hardware
 // and lands at the destination.
 func TestDBRouteExecutableQuick(t *testing.T) {

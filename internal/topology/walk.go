@@ -189,11 +189,13 @@ func (w *WalkBroadcast) broadcast(env core.Env) {
 	w.refresh(env)
 	w.Broadcasts++
 
-	view := w.db.View()
-	if int(w.id) >= view.N() {
+	if int(w.id) >= w.db.View().N() {
 		return
 	}
-	tree := view.BFSTree(w.id)
+	// The tree is cached per database version; the walk itself is not,
+	// because ChildOrder implementations may be stateful (E4's adversarial
+	// rotating order) and must see every round.
+	tree := w.db.BFSTree(w.id)
 	if tree.Size() <= 1 {
 		return
 	}

@@ -88,6 +88,35 @@ func (b *Buffer) Reset() {
 	b.events = b.events[:0]
 }
 
+// Serial is an in-memory Sink for single-threaded producers: Record is a
+// plain append with no lock, which matters on the discrete-event runtime
+// where every event of a run goes through one goroutine. Not safe for
+// concurrent use — the goroutine runtime keeps using Buffer.
+type Serial struct {
+	events []Event
+}
+
+// NewSerial returns an empty serial sink with room for n events before the
+// first growth (n <= 0 reserves nothing).
+func NewSerial(n int) *Serial {
+	if n <= 0 {
+		return &Serial{}
+	}
+	return &Serial{events: make([]Event, 0, n)}
+}
+
+// Record implements Sink.
+func (s *Serial) Record(e Event) { s.events = append(s.events, e) }
+
+// Events returns a snapshot of the recorded events in record order.
+func (s *Serial) Events() []Event { return append([]Event(nil), s.events...) }
+
+// Len returns the number of recorded events.
+func (s *Serial) Len() int { return len(s.events) }
+
+// Reset discards all recorded events, keeping the backing array.
+func (s *Serial) Reset() { s.events = s.events[:0] }
+
 // Discard is a Sink that drops everything; used when tracing is off.
 type Discard struct{}
 

@@ -45,6 +45,40 @@ func TestBufferConcurrent(t *testing.T) {
 	}
 }
 
+func TestSerialMatchesBuffer(t *testing.T) {
+	var _ Sink = (*Serial)(nil)
+	s := NewSerial(4)
+	b := NewBuffer()
+	evs := []Event{
+		{Kind: KindSend, Time: 1, Node: 3, Act: 2, Msg: 7},
+		{Kind: KindDeliver, Time: 2, Node: 4, Act: 3, Msg: 7},
+		{Kind: KindFaultDrop, Time: 2, Node: 4, Cause: "drop"},
+	}
+	for _, e := range evs {
+		s.Record(e)
+		b.Record(e)
+	}
+	if s.Len() != b.Len() {
+		t.Fatalf("Len = %d, want %d", s.Len(), b.Len())
+	}
+	se, be := s.Events(), b.Events()
+	for i := range be {
+		if se[i] != be[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, se[i], be[i])
+		}
+	}
+	// Snapshot must be independent of later records.
+	se[0].Node = 99
+	s.Record(Event{Kind: KindInject})
+	if s.Events()[0].Node != 3 {
+		t.Fatal("Events must return a copy")
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
 func TestDiscard(t *testing.T) {
 	var d Discard
 	d.Record(Event{Kind: KindDrop}) // must not panic
