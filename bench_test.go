@@ -7,6 +7,7 @@ package fastnet_test
 
 import (
 	"testing"
+	"time"
 
 	"fastnet/internal/anr"
 	"fastnet/internal/core"
@@ -14,6 +15,7 @@ import (
 	"fastnet/internal/experiments"
 	"fastnet/internal/faults"
 	"fastnet/internal/globalfn"
+	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
 	"fastnet/internal/paths"
 	"fastnet/internal/topology"
@@ -145,6 +147,33 @@ func BenchmarkSingleBroadcast4096(b *testing.B) {
 		}
 		if res.Metrics.Deliveries != 4095 {
 			b.Fatal("bad delivery count")
+		}
+	}
+}
+
+// BenchmarkGosimBroadcast1024 is BenchmarkSingleBroadcast4096's scenario on
+// the goroutine runtime (smaller n: every iteration spawns one goroutine per
+// NCU): build the network, warm-start the origin, broadcast to quiescence,
+// tear down. It tracks the runtime the DES cross-validates against, so
+// regressions in channel routing, quiescence detection, or shutdown are
+// visible alongside the scheduler numbers.
+func BenchmarkGosimBroadcast1024(b *testing.B) {
+	g := graph.RandomTree(1024, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := gosim.New(g, topology.NewMaintainer(topology.ModeBranching, false, nil),
+			gosim.WithDmax(g.N()))
+		net.Protocol(0).(topology.Maintainer).Preload(topology.RecordsForGraph(g, net.PortMap(), nil))
+		net.Inject(0, topology.Trigger{})
+		err := net.AwaitQuiescence(30 * time.Second)
+		m := net.Metrics()
+		net.Shutdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Deliveries != 1023 {
+			b.Fatalf("covered %d of 1023 nodes", m.Deliveries)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fastnet/internal/core"
 	"fastnet/internal/election"
 	"fastnet/internal/experiments"
+	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
 	"fastnet/internal/topology"
 )
@@ -45,12 +46,15 @@ type benchFile struct {
 // benchtime-style (each case is rerun until the measurement is stable, via
 // testing.Benchmark) and writes the results as a BENCH_<date>.json artifact
 // for trend tracking; compare two artifacts — or `go test -bench` output —
-// with benchstat as described in docs/PERF.md.
+// with benchstat as described in docs/PERF.md, or in-process against a
+// committed baseline with -compare.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "output path (default BENCH_<date>.json)")
 	idList := fs.String("ids", "all", "comma-separated experiment IDs to benchmark, 'all', or 'none'")
 	micro := fs.Bool("micro", true, "include the event-core micro benchmarks (events/sec)")
+	compare := fs.String("compare", "", "baseline BENCH_<date>.json to diff against (after writing the artifact)")
+	threshold := fs.Float64("threshold", 10, "ns/op regression tolerance for -compare, in percent; exceeding it exits nonzero")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +123,53 @@ func runBench(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(rows), path)
+	if *compare != "" {
+		return compareBaseline(rows, *compare, *threshold)
+	}
+	return nil
+}
+
+// compareBaseline diffs the fresh rows against a committed BENCH artifact and
+// prints one line per benchmark (ns/op and allocs/op movement). Benchmarks
+// slower than the baseline by more than threshold percent are regressions:
+// they are flagged in the table and make the command exit nonzero, so CI can
+// run this as a gate (or, with continue-on-error, as an advisory signal on
+// shared runners where timings are noisy). Benchmarks absent from the
+// baseline are reported but never fail the comparison.
+func compareBaseline(rows []benchRow, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseBy := make(map[string]benchRow, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	fmt.Printf("compare vs %s (%s, threshold +%.0f%%):\n", path, base.Date, threshold)
+	var regressions []string
+	for _, r := range rows {
+		b, ok := baseBy[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  %-22s %45d ns/op   (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := 100 * (float64(r.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+		mark := ""
+		if delta > threshold {
+			mark = "   REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s (%+.1f%%)", r.Name, delta))
+		}
+		fmt.Printf("  %-22s %15d -> %15d ns/op  %+7.1f%%   allocs %d -> %d%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, b.AllocsPerOp, r.AllocsPerOp, mark)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s: %s",
+			len(regressions), threshold, path, strings.Join(regressions, ", "))
+	}
 	return nil
 }
 
@@ -204,11 +255,53 @@ func benchMicro() ([]benchRow, error) {
 	}
 	rows = append(rows, newRow("Election1024", r, 0))
 
+	gosimRow, err := benchGosim()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, gosimRow)
+
 	routingRows, err := benchRouting()
 	if err != nil {
 		return nil, err
 	}
 	return append(rows, routingRows...), nil
+}
+
+// benchGosim measures the goroutine runtime end to end: build a 1024-node
+// network (one goroutine per NCU), warm-start the origin's database, run one
+// full branching-paths broadcast to quiescence, and tear it down. The DES
+// micro benchmarks cover the scheduler; this row tracks the runtime the DES
+// results are cross-validated against, so a slowdown in channel routing,
+// quiescence detection, or shutdown shows up in the artifact too. Mirrors
+// bench_test.go's BenchmarkGosimBroadcast1024.
+func benchGosim() (benchRow, error) {
+	fmt.Fprintln(os.Stderr, "bench GosimBroadcast1024...")
+	g := graph.RandomTree(1024, 2)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := gosim.New(g, topology.NewMaintainer(topology.ModeBranching, false, nil),
+				gosim.WithDmax(g.N()))
+			net.Protocol(0).(topology.Maintainer).Preload(topology.RecordsForGraph(g, net.PortMap(), nil))
+			net.Inject(0, topology.Trigger{})
+			err := net.AwaitQuiescence(30 * time.Second)
+			m := net.Metrics()
+			net.Shutdown()
+			if err == nil && m.Deliveries != 1023 {
+				err = fmt.Errorf("covered %d of 1023 nodes", m.Deliveries)
+			}
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("GosimBroadcast1024: %w", benchErr)
+	}
+	return newRow("GosimBroadcast1024", r, 0), nil
 }
 
 // benchRouting measures the amortized routing plane: repeated routes between

@@ -107,6 +107,7 @@ func runExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	parallel := fs.Int("parallel", 1, "worker pool for sweep rows (0 = one per CPU; output is identical to serial)")
+	verbose := fs.Bool("v", false, "print per-experiment scheduler counters (events, fused hops, heap bypass) to stderr")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write an allocation profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +128,9 @@ func runExp(args []string) error {
 			ids = append(ids, s.ID)
 		}
 	}
+	if *verbose {
+		sim.TakeGlobalSchedStats() // drop counters from before this command
+	}
 	for _, id := range ids {
 		spec, ok := experiments.Lookup(id)
 		if !ok {
@@ -142,6 +146,9 @@ func runExp(args []string) error {
 			}
 		} else {
 			tbl.Render(os.Stdout)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s sched: %s\n", spec.ID, sim.TakeGlobalSchedStats())
 		}
 	}
 	return stopProf()
@@ -353,6 +360,9 @@ func runSoak(args []string) error {
 		bad := 0
 		for i, res := range results {
 			fmt.Printf("seed %d: %s\n", seeds[i], res.Line())
+			if *verbose && res.Sched.Events > 0 {
+				fmt.Printf("seed %d sched: %s\n", seeds[i], res.Sched)
+			}
 			if !res.OK() {
 				bad++
 				for _, v := range res.Violations {
@@ -379,6 +389,9 @@ func runSoak(args []string) error {
 		return err
 	}
 	fmt.Println(res.Line())
+	if *verbose && res.Sched.Events > 0 {
+		fmt.Println("sched:", res.Sched)
+	}
 	if err := stopProf(); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package election
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"fastnet/internal/anr"
@@ -207,12 +208,15 @@ func (p *Protocol) Deliver(env core.Env, pkt core.Packet) {
 }
 
 // relayAnnounce forwards the announcement over every branching path that
-// starts at this node (one activation, one route per link).
+// starts at this node (one activation, one route per link). Routes is
+// sorted by Start (announceRoutes's contract), so this node's paths are a
+// contiguous run found by binary search rather than a scan of all paths.
 func (p *Protocol) relayAnnounce(env core.Env, m *announceMsg) {
+	lo := sort.Search(len(m.Routes), func(j int) bool { return m.Routes[j].Start >= p.id })
 	var hs []anr.Header
-	for _, spec := range m.Routes {
+	for _, spec := range m.Routes[lo:] {
 		if spec.Start != p.id {
-			continue
+			break
 		}
 		hs = append(hs, anr.CopyPath(spec.Links))
 	}
@@ -493,6 +497,9 @@ func (p *Protocol) announceRoutes() []announceSpec {
 		}
 		specs = append(specs, spec)
 	}
+	// Sorted by Start (stably, preserving the decomposition's order within
+	// each start node) so relayAnnounce can binary-search its own paths.
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
 	return specs
 }
 

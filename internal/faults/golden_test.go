@@ -49,8 +49,12 @@ func goldenSoaks() map[string]func() (string, error) {
 
 // TestGoldenSoakLines locks the soak driver's repro contract: for pinned
 // seeds the one-line result summary is a byte-identical function of the
-// config on the discrete-event runtime. The goldens were generated by the
-// pre-overhaul event core; a perf refactor must not move them.
+// config on the discrete-event runtime; a perf refactor must not move it.
+// The lines were re-pinned once, when cut-through switching intentionally
+// changed same-instant dispatch order (only "lossy-reliable" actually moved
+// — the churn configs' lines were insensitive to the interleave);
+// cutthrough_test.go holds the fused-vs-unfused equivalence evidence that
+// gated the re-pin, and docs/PERF.md the argument.
 func TestGoldenSoakLines(t *testing.T) {
 	path := filepath.Join("testdata", "golden_soak_lines.json")
 	golden := map[string]string{}

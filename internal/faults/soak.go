@@ -165,6 +165,12 @@ type Result struct {
 	RelRetrans int64
 	RelDupes   int64
 	RelBadSum  int64
+
+	// Sched snapshots the discrete-event scheduler's observability counters
+	// (zero on the goroutine runtime). Measurement only — deliberately not
+	// part of Line(), whose byte-identity contract is over simulation
+	// observables, not over how cheaply the scheduler produced them.
+	Sched sim.SchedStats
 }
 
 // OK reports whether every epoch held every invariant.
@@ -398,7 +404,11 @@ func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("faults: unknown runtime %q", cfg.Runtime)
 	}
 	defer r.h.Close()
-	return r.res, r.run()
+	err := r.run()
+	if s, ok := r.h.(interface{ SchedStats() sim.SchedStats }); ok {
+		r.res.Sched = s.SchedStats()
+	}
+	return r.res, err
 }
 
 func (r *soakRun) node(u core.NodeID) *soakNode { return r.h.Protocol(u).(*soakNode) }

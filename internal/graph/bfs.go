@@ -21,8 +21,26 @@ func (t *Tree) Reached(u NodeID) bool {
 }
 
 // Children returns, for each node, its children in the tree, sorted by ID.
+// The per-node slices share one packed backing array (built by counting
+// sort), so the whole structure costs three allocations instead of one per
+// interior node.
 func (t *Tree) Children() [][]NodeID {
-	ch := make([][]NodeID, len(t.Parent))
+	n := len(t.Parent)
+	counts := make([]int32, n)
+	total := 0
+	for _, p := range t.Parent {
+		if p != None {
+			counts[p]++
+			total++
+		}
+	}
+	backing := make([]NodeID, total)
+	ch := make([][]NodeID, n)
+	off := 0
+	for u, c := range counts {
+		ch[u] = backing[off:off:off+int(c)]
+		off += int(c)
+	}
 	for u, p := range t.Parent {
 		if p != None {
 			ch[p] = append(ch[p], NodeID(u))

@@ -32,11 +32,13 @@ func (e Edge) Canon() Edge {
 	return e
 }
 
-// Graph is a simple undirected graph with dense node IDs.
+// Graph is a simple undirected graph with dense node IDs. The sorted
+// neighbor lists are the only edge storage: membership is a binary search,
+// so building a graph allocates nothing beyond the adjacency arrays.
 type Graph struct {
-	n    int
-	adj  [][]NodeID        // sorted neighbor lists
-	eset map[Edge]struct{} // canonical edges
+	n   int
+	adj [][]NodeID // sorted neighbor lists
+	m   int        // edge count
 }
 
 // New returns an empty graph on n nodes.
@@ -45,9 +47,8 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
 	return &Graph{
-		n:    n,
-		adj:  make([][]NodeID, n),
-		eset: make(map[Edge]struct{}),
+		n:   n,
+		adj: make([][]NodeID, n),
 	}
 }
 
@@ -72,11 +73,11 @@ func (g *Graph) Reset(n int) {
 		g.adj[i] = g.adj[i][:0]
 	}
 	g.n = n
-	clear(g.eset)
+	g.m = 0
 }
 
 // M returns the number of edges.
-func (g *Graph) M() int { return len(g.eset) }
+func (g *Graph) M() int { return g.m }
 
 // valid reports whether u is a node of g.
 func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.n }
@@ -90,13 +91,12 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	e := Edge{U: u, V: v}.Canon()
-	if _, dup := g.eset[e]; dup {
+	if contains(g.adj[u], v) {
 		return nil
 	}
-	g.eset[e] = struct{}{}
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
 	return nil
 }
 
@@ -111,13 +111,12 @@ func (g *Graph) MustAddEdge(u, v NodeID) {
 // RemoveEdge deletes the undirected edge {u, v} if present and reports
 // whether it was present.
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
-	e := Edge{U: u, V: v}.Canon()
-	if _, ok := g.eset[e]; !ok {
+	if !g.valid(u) || !g.valid(v) || !contains(g.adj[u], v) {
 		return false
 	}
-	delete(g.eset, e)
 	g.adj[u] = removeSorted(g.adj[u], v)
 	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
 	return true
 }
 
@@ -126,8 +125,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if !g.valid(u) || !g.valid(v) {
 		return false
 	}
-	_, ok := g.eset[Edge{U: u, V: v}.Canon()]
-	return ok
+	return contains(g.adj[u], v)
 }
 
 // Neighbors returns the sorted neighbor list of u. The returned slice is
@@ -158,27 +156,24 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Edges returns all edges in canonical order (sorted by U, then V).
+// Edges returns all edges in canonical order (sorted by U, then V). The
+// sorted adjacency lists already hold that order, so no sort is needed.
 func (g *Graph) Edges() []Edge {
-	es := make([]Edge, 0, len(g.eset))
-	for e := range g.eset {
-		es = append(es, e)
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	es := make([]Edge, 0, g.m)
+	for u, a := range g.adj {
+		for _, v := range a {
+			if NodeID(u) < v {
+				es = append(es, Edge{U: NodeID(u), V: v})
+			}
 		}
-		return es[i].V < es[j].V
-	})
+	}
 	return es
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
-	for e := range g.eset {
-		c.eset[e] = struct{}{}
-	}
+	c.m = g.m
 	for i, a := range g.adj {
 		c.adj[i] = append([]NodeID(nil), a...)
 	}
@@ -187,15 +182,27 @@ func (g *Graph) Clone() *Graph {
 
 // Equal reports whether g and h have the same node count and edge set.
 func (g *Graph) Equal(h *Graph) bool {
-	if g.n != h.n || len(g.eset) != len(h.eset) {
+	if g.n != h.n || g.m != h.m {
 		return false
 	}
-	for e := range g.eset {
-		if _, ok := h.eset[e]; !ok {
+	for u := range g.adj {
+		ga, ha := g.adj[u], h.adj[u]
+		if len(ga) != len(ha) {
 			return false
+		}
+		for i := range ga {
+			if ga[i] != ha[i] {
+				return false
+			}
 		}
 	}
 	return true
+}
+
+// contains reports whether the sorted slice s holds v.
+func contains(s []NodeID, v NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
 }
 
 // insertSorted inserts v into the sorted slice s if absent.

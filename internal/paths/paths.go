@@ -87,18 +87,14 @@ func (p Path) label(labels []int) int { return labels[p[1]] }
 type Decomposition struct {
 	Paths   []Path
 	Labels  []int
-	byStart map[graph.NodeID][]int
+	byStart map[graph.NodeID][]int // built lazily by StartingAt
 }
 
 // Decompose computes the branching-path decomposition of t using the given
 // labels (from Labels).
 func Decompose(t *graph.Tree, labels []int) *Decomposition {
 	children := t.Children()
-	d := &Decomposition{
-		Labels:  labels,
-		byStart: make(map[graph.NodeID][]int),
-	}
-	inChain := make([]bool, len(t.Parent))
+	d := &Decomposition{Labels: labels}
 	// A child c is a chain top iff its parent is the root (the root has no
 	// chain of its own) or its label differs from its parent's.
 	var tops []graph.NodeID
@@ -113,10 +109,10 @@ func Decompose(t *graph.Tree, labels []int) *Decomposition {
 		}
 	}
 	sort.Slice(tops, func(i, j int) bool { return tops[i] < tops[j] })
+	d.Paths = make([]Path, 0, len(tops))
 	for _, top := range tops {
 		start := t.Parent[top]
 		path := Path{start, top}
-		inChain[top] = true
 		l := labels[top]
 		cur := top
 		for {
@@ -131,17 +127,23 @@ func Decompose(t *graph.Tree, labels []int) *Decomposition {
 				break
 			}
 			path = append(path, next)
-			inChain[next] = true
 			cur = next
 		}
-		d.byStart[start] = append(d.byStart[start], len(d.Paths))
 		d.Paths = append(d.Paths, path)
 	}
 	return d
 }
 
-// StartingAt returns the paths whose start node is u.
+// StartingAt returns the paths whose start node is u. The start index is
+// built on first use: the broadcast hot path iterates Paths directly and
+// never pays for it.
 func (d *Decomposition) StartingAt(u graph.NodeID) []Path {
+	if d.byStart == nil {
+		d.byStart = make(map[graph.NodeID][]int, len(d.Paths))
+		for i, p := range d.Paths {
+			d.byStart[p.Start()] = append(d.byStart[p.Start()], i)
+		}
+	}
 	idx := d.byStart[u]
 	out := make([]Path, 0, len(idx))
 	for _, i := range idx {

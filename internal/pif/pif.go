@@ -73,6 +73,17 @@ type bcast struct {
 	Order  []core.NodeID // spanning-tree nodes in BFS order, root first
 	Mode   EchoMode
 	C, P   core.Time
+
+	// Shared precomputed echo structure. Every field below is a pure
+	// function of the fields above, so every receiver would compute the
+	// identical values — and local computation is free in the model's cost
+	// measures (only hops, activations and delay are priced). Computing
+	// them once at the origin instead of once per node keeps the simulated
+	// execution identical while cutting the simulator's own cost from
+	// O(n^2) map-and-tree builds to O(n).
+	Pos      []int32        // Pos[u] = index of u in Order, -1 if absent
+	ParentAt []int32        // edgeIndex(Edges)
+	Tree     *globalfn.Tree // the §5 echo tree (EchoOptimal only)
 }
 
 // ack flows up the echo tree.
@@ -134,11 +145,14 @@ func (p *proto) Deliver(env core.Env, pkt core.Packet) {
 }
 
 // relay forwards the broadcast over the branching paths starting here.
+// Routes is sorted by Start (Run's contract), so this node's paths are a
+// contiguous run found by binary search rather than a scan of all paths.
 func (p *proto) relay(env core.Env, m *bcast) {
+	lo := sort.Search(len(m.Routes), func(j int) bool { return m.Routes[j].Start >= p.id })
 	var hs []anr.Header
-	for _, spec := range m.Routes {
+	for _, spec := range m.Routes[lo:] {
 		if spec.Start != p.id {
-			continue
+			break
 		}
 		hs = append(hs, anr.CopyPath(spec.Links))
 	}
@@ -161,7 +175,11 @@ func (p *proto) joinEcho(env core.Env, m *bcast) {
 	p.pending = children - p.early
 	p.early = 0
 	if !p.isRoot {
-		route, err := treeRoute(m.Edges, p.id, parent)
+		idx := m.ParentAt
+		if idx == nil {
+			idx = edgeIndex(m.Edges)
+		}
+		route, err := treeRouteIdx(m.Edges, idx, p.id, parent)
 		if err != nil {
 			panic(fmt.Sprintf("pif: echo route: %v", err))
 		}
@@ -190,10 +208,16 @@ func (p *proto) finish(env core.Env) {
 // echoRole returns a node's parent and child count in the echo tree.
 func echoRole(m *bcast, id core.NodeID) (core.NodeID, int, error) {
 	idx := -1
-	for i, u := range m.Order {
-		if u == id {
-			idx = i
-			break
+	if m.Pos != nil {
+		if int(id) < len(m.Pos) {
+			idx = int(m.Pos[id])
+		}
+	} else {
+		for i, u := range m.Order {
+			if u == id {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx < 0 {
@@ -206,9 +230,12 @@ func echoRole(m *bcast, id core.NodeID) (core.NodeID, int, error) {
 		}
 		return m.Order[0], 0, nil
 	}
-	tree, err := echoTree(n, m.C, m.P)
-	if err != nil {
-		return core.None, 0, err
+	tree := m.Tree
+	if tree == nil {
+		var err error
+		if tree, err = echoTree(n, m.C, m.P); err != nil {
+			return core.None, 0, err
+		}
 	}
 	if idx == 0 {
 		return core.None, len(tree.Children[0]), nil
@@ -237,50 +264,80 @@ func echoTree(n int, c, p core.Time) (*globalfn.Tree, error) {
 // treeRoute builds the ANR route from u to w along spanning-tree edges
 // (up to the least common ancestor, then down).
 func treeRoute(edges []TreeEdge, u, w core.NodeID) (anr.Header, error) {
-	parent := make(map[core.NodeID]TreeEdge, len(edges))
-	depth := make(map[core.NodeID]int, len(edges)+1)
-	children := make(map[core.NodeID][]TreeEdge, len(edges))
+	return treeRouteIdx(edges, edgeIndex(edges), u, w)
+}
+
+// edgeIndex returns the child-to-edge index treeRouteIdx climbs on:
+// idx[u] = position in edges of the edge whose Child is u, -1 for the root
+// and for nodes outside the edge set.
+func edgeIndex(edges []TreeEdge) []int32 {
+	max := core.NodeID(-1)
 	for _, e := range edges {
-		parent[e.Child] = e
-		children[e.Parent] = append(children[e.Parent], e)
-	}
-	var root core.NodeID = core.None
-	for _, e := range edges {
-		if _, ok := parent[e.Parent]; !ok {
-			root = e.Parent
-			break
+		if e.Child > max {
+			max = e.Child
+		}
+		if e.Parent > max {
+			max = e.Parent
 		}
 	}
-	if root == core.None && len(edges) > 0 {
-		return nil, fmt.Errorf("pif: rootless edge set")
+	idx := make([]int32, int(max)+1)
+	for i := range idx {
+		idx[i] = -1
 	}
-	// Depths via BFS from the root.
-	depth[root] = 0
-	queue := []core.NodeID{root}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		for _, e := range children[x] {
-			depth[e.Child] = depth[x] + 1
-			queue = append(queue, e.Child)
+	for i, e := range edges {
+		idx[e.Child] = int32(i)
+	}
+	return idx
+}
+
+// treeRouteIdx is treeRoute on a prebuilt edgeIndex: two parent-chain climbs
+// to equal depth, then a joint climb to the least common ancestor — O(path)
+// with no maps, no BFS, and no allocation beyond the route itself.
+func treeRouteIdx(edges []TreeEdge, parentAt []int32, u, w core.NodeID) (anr.Header, error) {
+	at := func(x core.NodeID) int32 {
+		if int(x) < len(parentAt) {
+			return parentAt[x]
 		}
+		return -1
 	}
-	// Climb to the LCA.
+	depth := func(x core.NodeID) (int, error) {
+		d := 0
+		for at(x) >= 0 {
+			if d > len(edges) {
+				return 0, fmt.Errorf("pif: cyclic edge set")
+			}
+			x = edges[at(x)].Parent
+			d++
+		}
+		return d, nil
+	}
+	a, b := u, w
+	da, err := depth(a)
+	if err != nil {
+		return nil, err
+	}
+	db, err := depth(b)
+	if err != nil {
+		return nil, err
+	}
 	var upLinks []anr.ID
 	var downRev []anr.ID
-	a, b := u, w
-	for depth[a] > depth[b] {
-		e := parent[a]
+	for da > db {
+		e := edges[at(a)]
 		upLinks = append(upLinks, e.Up)
-		a = e.Parent
+		a, da = e.Parent, da-1
 	}
-	for depth[b] > depth[a] {
-		e := parent[b]
+	for db > da {
+		e := edges[at(b)]
 		downRev = append(downRev, e.Down)
-		b = e.Parent
+		b, db = e.Parent, db-1
 	}
 	for a != b {
-		ea, eb := parent[a], parent[b]
+		ia, ib := at(a), at(b)
+		if ia < 0 || ib < 0 {
+			return nil, fmt.Errorf("pif: no tree path %d->%d", u, w)
+		}
+		ea, eb := edges[ia], edges[ib]
 		upLinks = append(upLinks, ea.Up)
 		downRev = append(downRev, eb.Down)
 		a, b = ea.Parent, eb.Parent
@@ -326,6 +383,9 @@ func Run(g *graph.Graph, root core.NodeID, mode EchoMode, c, p core.Time) (Resul
 		}
 		msg.Routes = append(msg.Routes, spec)
 	}
+	// Sorted by Start (stably, keeping each start's decomposition order) so
+	// relay can binary-search its own paths.
+	sort.SliceStable(msg.Routes, func(i, j int) bool { return msg.Routes[i].Start < msg.Routes[j].Start })
 	for u := 0; u < g.N(); u++ {
 		id := core.NodeID(u)
 		if id == root {
@@ -338,6 +398,21 @@ func Run(g *graph.Graph, root core.NodeID, mode EchoMode, c, p core.Time) (Resul
 	}
 	// BFS order, root first.
 	msg.Order = bfsOrder(bfs, root)
+	msg.Pos = make([]int32, g.N())
+	for i := range msg.Pos {
+		msg.Pos[i] = -1
+	}
+	for i, u := range msg.Order {
+		msg.Pos[u] = int32(i)
+	}
+	msg.ParentAt = edgeIndex(msg.Edges)
+	if mode == EchoOptimal {
+		tree, err := echoTree(len(msg.Order), c, p)
+		if err != nil {
+			return Result{}, err
+		}
+		msg.Tree = tree
+	}
 
 	done := &doneProbe{finished: -1}
 	net := sim.New(g, func(id core.NodeID) core.Protocol {

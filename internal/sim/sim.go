@@ -11,16 +11,30 @@
 // tagged-union records (activation / link event / injection / link flip /
 // hop) drawn from a free list and ordered by a typed 4-ary min-heap on
 // (time, sequence), so scheduling one of the up-to-50M events of a run costs
-// no closure, no interface boxing, and no per-event heap allocation. The
-// (t, seq) total order, all rng draw sequences, and therefore all metrics
-// and traces are byte-identical to the original closure-based scheduler;
-// golden_test.go enforces that contract.
+// no closure, no interface boxing, and no per-event heap allocation.
+//
+// Three fast paths apply the paper's own cost measure to the runtime
+// itself. Cut-through switching executes contiguous zero-delay hardware
+// hops (C = 0, no jitter pending) in one tight loop inside a single event,
+// so simulator wall-clock scales with system-call complexity (NCU
+// activations) rather than communication complexity (hops) — see
+// docs/PERF.md for the design and its equivalence argument. A same-time
+// FIFO lane in front of the heap absorbs residual events scheduled for the
+// current instant (zero-delay activations, injections at now, clamped
+// pushes) without paying a heap sift, and a 64-slot calendar ring absorbs
+// near-future events (t - now < 64, which covers every schedule under the
+// default unit delays), leaving the heap only far-future overflow. All
+// three preserve the scheduler's strict (t, seq) dispatch order;
+// cutthrough_test.go proves fused and unfused executions produce identical
+// traces, metrics, and per-node vectors, and golden_test.go pins the event
+// stream byte for byte.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"fastnet/internal/anr"
 	"fastnet/internal/core"
@@ -42,6 +56,7 @@ type config struct {
 	eventBudget int64
 	filter      core.HopFilter
 	faults      core.MsgFaults
+	cutThrough  bool
 }
 
 // Option configures a Network.
@@ -99,6 +114,31 @@ func WithMsgFaults(f core.MsgFaults) Option {
 	return func(cf *config) { cf.faults = f }
 }
 
+// cutThroughOff is the inverted package-wide default for cut-through
+// switching (inverted so the zero value means "on"). See
+// SetDefaultCutThrough.
+var cutThroughOff atomic.Bool
+
+// SetDefaultCutThrough sets the cut-through default applied to every
+// subsequently constructed Network (per-network WithCutThrough still wins).
+// Cut-through is on by default; differential tests switch whole experiment
+// or soak stacks — which construct their networks internally — onto the
+// unfused reference path with it. Affects construction only: existing
+// networks keep their setting.
+func SetDefaultCutThrough(on bool) { cutThroughOff.Store(!on) }
+
+// WithCutThrough enables or disables cut-through switching for this
+// network. When on (the default), contiguous zero-delay hardware hops of a
+// walk execute inline inside one event; when off, every hop pays the full
+// per-event scheduler round-trip. The two modes execute hops in the same
+// depth-first same-instant order and draw from the same rng streams at the
+// same points, so all observables — traces, metrics, per-node vectors,
+// reliable-delivery ledgers — are identical; only Events() (the number of
+// scheduler dispatches) differs. cutthrough_test.go enforces this.
+func WithCutThrough(on bool) Option {
+	return func(cf *config) { cf.cutThrough = on }
+}
+
 // Network is a simulated network: a graph, one protocol instance per node,
 // and the event queue.
 type Network struct {
@@ -106,7 +146,16 @@ type Network struct {
 	pm    *core.PortMap
 	cfg   config
 	queue eventHeap
-	free  *rec // free list of event payload records
+	lane  eventLane // same-time FIFO: events scheduled for now bypass the heap
+
+	// Near-time calendar ring: events scheduled within ringWindow instants
+	// of now wait in the FIFO slot of their instant (slot t%ringWindow) and
+	// are promoted wholesale when the clock reaches them — under unit
+	// software delay almost every event lands here, so the heap sees only
+	// far-future schedules (timers, jittered retransmits, epoch scripts).
+	ring        [ringWindow]eventLane
+	ringPending int // total entries across ring slots
+	free  *rec      // free list of event payload records
 	seq   uint64
 	now   core.Time
 	nodes    []node
@@ -120,6 +169,8 @@ type Network struct {
 	actSeq     int64
 	msgSeq     int64
 	eventCount int64
+	stats      SchedStats // scheduler observability; Events mirrors eventCount on read
+	flushed    SchedStats // portion already added to the global aggregate
 }
 
 type node struct {
@@ -159,6 +210,7 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		seed:        1,
 		sink:        trace.Discard{},
 		eventBudget: 50_000_000,
+		cutThrough:  !cutThroughOff.Load(),
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -214,8 +266,107 @@ func (net *Network) Now() core.Time { return net.now }
 func (net *Network) Metrics() core.Metrics { return net.metrics }
 
 // Events returns the number of scheduler events processed so far; divided by
-// wall-clock it is the event throughput `fastnet bench` reports.
+// wall-clock it is the event throughput `fastnet bench` reports. Hardware
+// hops fused by cut-through are not events (that is the point of the
+// optimization); they are counted in SchedStats().FusedHops.
 func (net *Network) Events() int64 { return net.eventCount }
+
+// SchedStats are scheduler observability counters: how much work the event
+// core did and how much of it the same-time fast paths absorbed. They are
+// measurement only — no simulation result depends on them.
+type SchedStats struct {
+	Events     int64 // scheduler events dispatched (run-loop pops + unfused walk steps)
+	HeapPushes int64 // events that paid a heap sift
+	LanePushes int64 // events absorbed by the same-time FIFO lane (O(1))
+	RingPushes int64 // events absorbed by the near-time calendar ring (O(1))
+	FusedHops  int64 // hardware hops executed inline by cut-through, no event at all
+	HeapPeak   int   // high-water mark of the heap (pending future events)
+}
+
+// LaneHitRate is the fraction of scheduled events that bypassed the heap
+// (same-time lane or near-time ring).
+func (s SchedStats) LaneHitRate() float64 {
+	if total := s.HeapPushes + s.LanePushes + s.RingPushes; total > 0 {
+		return float64(s.LanePushes+s.RingPushes) / float64(total)
+	}
+	return 0
+}
+
+// FusedHopsPerEvent is how many hardware hops rode along per scheduler
+// event — the cut-through engine's amortization factor.
+func (s SchedStats) FusedHopsPerEvent() float64 {
+	if s.Events > 0 {
+		return float64(s.FusedHops) / float64(s.Events)
+	}
+	return 0
+}
+
+// String renders the counters in the one-line form the CLI surfaces
+// (`fastnet exp -v`, `fastnet soak -v`) print.
+func (s SchedStats) String() string {
+	return fmt.Sprintf("events=%d fused-hops=%d (%.2f/event) pushes(heap=%d lane=%d ring=%d) heap-bypass=%.1f%% heap-peak=%d",
+		s.Events, s.FusedHops, s.FusedHopsPerEvent(),
+		s.HeapPushes, s.LanePushes, s.RingPushes, 100*s.LaneHitRate(), s.HeapPeak)
+}
+
+// add accumulates o into s (HeapPeak by max).
+func (s *SchedStats) add(o SchedStats) {
+	s.Events += o.Events
+	s.HeapPushes += o.HeapPushes
+	s.LanePushes += o.LanePushes
+	s.RingPushes += o.RingPushes
+	s.FusedHops += o.FusedHops
+	if o.HeapPeak > s.HeapPeak {
+		s.HeapPeak = o.HeapPeak
+	}
+}
+
+// SchedStats returns this network's cumulative scheduler counters.
+func (net *Network) SchedStats() SchedStats {
+	s := net.stats
+	s.Events = net.eventCount
+	return s
+}
+
+// globalStats aggregates scheduler counters across every Network in the
+// process, so stacks that construct networks internally (experiments, soak
+// campaigns) can still be observed; each run() flushes its delta on return.
+var globalStats struct {
+	events, heapPushes, lanePushes, ringPushes, fusedHops atomic.Int64
+	heapPeak                                              atomic.Int64
+}
+
+// TakeGlobalSchedStats returns the process-wide scheduler counters
+// accumulated since the last call, and resets them. `fastnet exp -v`
+// reports these per invocation.
+func TakeGlobalSchedStats() SchedStats {
+	return SchedStats{
+		Events:     globalStats.events.Swap(0),
+		HeapPushes: globalStats.heapPushes.Swap(0),
+		LanePushes: globalStats.lanePushes.Swap(0),
+		RingPushes: globalStats.ringPushes.Swap(0),
+		FusedHops:  globalStats.fusedHops.Swap(0),
+		HeapPeak:   int(globalStats.heapPeak.Swap(0)),
+	}
+}
+
+// flushGlobalStats adds this network's not-yet-flushed counter delta to the
+// process-wide aggregate.
+func (net *Network) flushGlobalStats() {
+	cur := net.SchedStats()
+	globalStats.events.Add(cur.Events - net.flushed.Events)
+	globalStats.heapPushes.Add(cur.HeapPushes - net.flushed.HeapPushes)
+	globalStats.lanePushes.Add(cur.LanePushes - net.flushed.LanePushes)
+	globalStats.ringPushes.Add(cur.RingPushes - net.flushed.RingPushes)
+	globalStats.fusedHops.Add(cur.FusedHops - net.flushed.FusedHops)
+	for {
+		old := globalStats.heapPeak.Load()
+		if int64(cur.HeapPeak) <= old || globalStats.heapPeak.CompareAndSwap(old, int64(cur.HeapPeak)) {
+			break
+		}
+	}
+	net.flushed = cur
+}
 
 // DeliveriesPerNode returns a copy of the per-node delivery counts.
 func (net *Network) DeliveriesPerNode() []int64 {
@@ -304,21 +455,104 @@ func (net *Network) RunUntil(deadline core.Time) (core.Time, error) {
 	return net.run(deadline)
 }
 
+// run drains events in strict (t, seq) order from three tiers: the heap's
+// residue at the current instant (scheduled before the clock reached it, so
+// with the smallest sequence numbers), then the same-time FIFO lane (pushes
+// that arrived while now == t, in push — i.e. sequence — order), and only
+// then a clock advance to the earliest instant pending in the near-time
+// calendar ring or the heap. Pushes for the current instant always land in
+// the lane, so the heap never gains a t == now entry while the lane drains;
+// pushes within ringWindow of now land in the ring, so every heap entry for
+// an instant t predates — and therefore outranks by sequence — every ring
+// entry for t. The dispatch order is total and identical to a single
+// (t, seq) priority queue's.
 func (net *Network) run(deadline core.Time) (core.Time, error) {
-	for net.queue.len() > 0 {
-		if deadline >= 0 && net.queue.evs[0].t > deadline {
-			net.now = deadline
+	defer net.flushGlobalStats()
+	for {
+		var ev eventRec
+		switch {
+		case net.queue.len() > 0 && net.queue.evs[0].t == net.now:
+			// Entering run with now past the deadline can't reach here: heap
+			// entries at t == now only exist while the clock sits at an
+			// instant it advanced to (or pushes clamped to) inside this loop.
+			ev = net.queue.pop()
+		case net.lane.len() > 0:
+			if deadline >= 0 && net.now > deadline {
+				// Deadline behind the lane's instant (a backward RunUntil):
+				// spill the lanes into the heap, where (t, seq) ordering
+				// keeps the entries correct for whenever the clock catches
+				// up.
+				net.flushLanes()
+				net.now = deadline
+				return net.metrics.FinishTime, nil
+			}
+			ev = net.lane.popFront()
+		case net.ringPending > 0 || net.queue.len() > 0:
+			// Advance the clock to the earliest pending instant across the
+			// calendar ring and the heap. At equal times the heap pops
+			// first: its entries were pushed while now <= t-ringWindow, so
+			// they carry strictly smaller sequence numbers than any ring
+			// entry for the same instant (pushed while now > t-ringWindow).
+			tRing := core.Time(-1)
+			if net.ringPending > 0 {
+				for dt := core.Time(0); ; dt++ {
+					if net.ring[(net.now+dt)%ringWindow].len() > 0 {
+						tRing = net.now + dt
+						break
+					}
+				}
+			}
+			if net.queue.len() > 0 && (tRing < 0 || net.queue.evs[0].t <= tRing) {
+				if deadline >= 0 && net.queue.evs[0].t > deadline {
+					net.now = deadline
+					return net.metrics.FinishTime, nil
+				}
+				ev = net.queue.pop()
+				net.now = ev.t
+				break
+			}
+			if deadline >= 0 && tRing > deadline {
+				// Deadline before the ring's earliest instant (including a
+				// backward RunUntil): spill the ring into the heap, where
+				// (t, seq) ordering keeps the entries correct for whenever
+				// the clock catches up.
+				net.flushLanes()
+				net.now = deadline
+				return net.metrics.FinishTime, nil
+			}
+			// Promote the slot wholesale: the same-time lane is empty here
+			// and its backing array is reused as the slot's next generation.
+			net.now = tRing
+			slot := &net.ring[net.now%ringWindow]
+			net.lane, *slot = *slot, net.lane
+			net.ringPending -= net.lane.len()
+			ev = net.lane.popFront()
+		default:
 			return net.metrics.FinishTime, nil
 		}
 		net.eventCount++
 		if net.eventCount > net.cfg.eventBudget {
 			return net.metrics.FinishTime, fmt.Errorf("%w (%d events)", ErrEventBudget, net.eventCount)
 		}
-		ev := net.queue.pop()
-		net.now = ev.t
 		net.dispatch(ev)
 	}
-	return net.metrics.FinishTime, nil
+}
+
+// flushLanes spills pending lane entries (same-time lane and calendar ring) into
+// the heap. Only the backward-deadline return path needs it: everywhere else
+// the lanes drain before the clock moves past them. Entries keep their
+// stored (t, seq), so heap ordering stays correct for whenever the clock
+// catches up.
+func (net *Network) flushLanes() {
+	for net.lane.len() > 0 {
+		net.queue.push(net.lane.popFront())
+	}
+	for s := range net.ring {
+		for net.ring[s].len() > 0 {
+			net.queue.push(net.ring[s].popFront())
+			net.ringPending--
+		}
+	}
 }
 
 // dispatch consumes one popped event. Union fields are copied out and the
@@ -396,13 +630,38 @@ func (net *Network) dispatch(ev eventRec) {
 }
 
 // push schedules an event record at time t (clamped to now), assigning the
-// next sequence number. (t, seq) is the scheduler's total order.
+// next sequence number. (t, seq) is the scheduler's total order. Events for
+// the current instant skip the heap entirely: they go to the same-time FIFO
+// lane, which run drains in push order — exactly their (t, seq) order,
+// since every heap entry at t == now predates every lane entry (the heap
+// can only have gained it while now < t). Events within ringWindow of now —
+// under unit delays, nearly every schedule — likewise skip the heap via the
+// near-time calendar ring's per-instant FIFO slots, which run promotes when
+// the clock reaches them; a heap entry for the same instant was pushed while
+// now <= t-ringWindow and so carries a strictly smaller sequence number,
+// which the promotion honors by letting the heap drain that instant first.
 func (net *Network) push(t core.Time, kind uint8, r *rec) {
 	if t < net.now {
 		t = net.now
 	}
 	net.seq++
-	net.queue.push(eventRec{t: t, seq: net.seq, kind: kind, rec: r})
+	e := eventRec{t: t, seq: net.seq, kind: kind, rec: r}
+	if t == net.now {
+		net.stats.LanePushes++
+		net.lane.pushBack(e)
+		return
+	}
+	if t-net.now < ringWindow {
+		net.stats.RingPushes++
+		net.ring[t%ringWindow].pushBack(e)
+		net.ringPending++
+		return
+	}
+	net.stats.HeapPushes++
+	net.queue.push(e)
+	if n := net.queue.len(); n > net.stats.HeapPeak {
+		net.stats.HeapPeak = n
+	}
 }
 
 // enqueueActivation reserves the node's NCU for one software delay starting
@@ -502,77 +761,124 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 	return nil
 }
 
-// stepHop consumes header position i at node cur, at the current time. The
-// reverse route accumulated so far is revBuf[len(revBuf)-1-i:].
+// stepHop consumes the header from position i at node cur, at the current
+// time. The reverse route accumulated so far is revBuf[len(revBuf)-1-i:].
+//
+// The loop is the cut-through engine: as long as the next hop departs at
+// the same timestamp — C = 0 and no jitter pending, the paper's "hardware
+// hops cost almost nothing" regime — the walk continues inline, depth-first,
+// inside this one call. Per-link fault rolls, hop metrics, and traces are
+// produced in traversal order exactly as if each hop were its own event;
+// the scheduler is re-entered only at a time advance (C > 0 or jitter), a
+// selective-copy or terminal NCU delivery, a fault or filter breaking the
+// walk, or route end. With cut-through disabled the same loop pays the full
+// event round-trip per hop (record, sequence number, lane push/pop) but
+// keeps the identical depth-first order, making the two modes differential-
+// testable against each other.
 func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Header, arrivedOn anr.ID, payload any, msg int64) {
-	rev := revBuf[len(revBuf)-1-i:]
-	hop := h[i]
-	if hop.Link == anr.NCU {
-		net.enqueueActivation(cur, core.Packet{
-			Payload:   payload,
-			Reverse:   rev,
-			ArrivedOn: arrivedOn,
-		}, msg, false)
-		return
-	}
-	port, err := net.pm.Resolve(cur, hop.Link)
-	if err != nil {
-		// Pre-validated at send; unreachable unless topology changed shape.
-		net.metrics.Drops++
-		return
-	}
-	if i > 0 && net.cfg.filter != nil && !net.cfg.filter(cur, payload) {
-		net.metrics.Filtered++
-		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
-		return
-	}
-	if hop.Copy {
-		net.enqueueActivation(cur, core.Packet{
-			Payload:     payload,
-			Remaining:   h[i+1:].Clone(),
-			Reverse:     rev,
-			ArrivedOn:   arrivedOn,
-			ForwardedOn: hop.Link,
-		}, msg, true)
-	}
-	if net.down[graph.Edge{U: cur, V: port.Remote}.Canon()] {
-		net.metrics.Drops++
-		net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
-		return
-	}
-	// Lossy-link model: one roll per live-link traversal. A duplicate
-	// crosses the link a second time (an extra hardware hop) after a jitter
-	// delay; a corruption damages the payload seen by everything downstream.
-	var extraDelay core.Time
-	duplicate := false
-	if net.cfg.faults.Enabled() {
-		switch net.cfg.faults.Roll(net.faultRng) {
-		case core.FaultDrop:
-			net.metrics.FaultDrops++
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDrop, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDrop.String()})
+	for {
+		rev := revBuf[len(revBuf)-1-i:]
+		hop := h[i]
+		if hop.Link == anr.NCU {
+			net.enqueueActivation(cur, core.Packet{
+				Payload:   payload,
+				Reverse:   rev,
+				ArrivedOn: arrivedOn,
+			}, msg, false)
 			return
-		case core.FaultDup:
-			net.metrics.FaultDups++
-			duplicate = true
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDup, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDup.String()})
-		case core.FaultCorrupt:
-			net.metrics.FaultCorrupts++
-			payload = core.CorruptPayload(payload, net.faultRng)
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultCorrupt, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultCorrupt.String()})
-		case core.FaultJitter:
-			net.metrics.FaultJitters++
-			extraDelay = net.cfg.faults.JitterDelay(net.faultRng)
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultJitter, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultJitter.String()})
 		}
-	}
-	net.metrics.Hops++
-	revBuf[len(revBuf)-2-i] = anr.Hop{Link: port.RemoteID}
-	at := net.now + net.hwDelayOnce() + extraDelay
-	net.pushHop(at, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
-	if duplicate {
+		port, err := net.pm.Resolve(cur, hop.Link)
+		if err != nil {
+			// Pre-validated at send; unreachable unless topology changed shape.
+			net.metrics.Drops++
+			return
+		}
+		if i > 0 && net.cfg.filter != nil && !net.cfg.filter(cur, payload) {
+			net.metrics.Filtered++
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
+			return
+		}
+		if hop.Copy {
+			net.enqueueActivation(cur, core.Packet{
+				Payload:     payload,
+				Remaining:   h[i+1:].Clone(),
+				Reverse:     rev,
+				ArrivedOn:   arrivedOn,
+				ForwardedOn: hop.Link,
+			}, msg, true)
+		}
+		if net.down[graph.Edge{U: cur, V: port.Remote}.Canon()] {
+			net.metrics.Drops++
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
+			return
+		}
+		// Lossy-link model: one roll per live-link traversal. A duplicate
+		// crosses the link a second time (an extra hardware hop) after a jitter
+		// delay; a corruption damages the payload seen by everything downstream.
+		var extraDelay core.Time
+		duplicate := false
+		if net.cfg.faults.Enabled() {
+			switch net.cfg.faults.Roll(net.faultRng) {
+			case core.FaultDrop:
+				net.metrics.FaultDrops++
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDrop, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDrop.String()})
+				return
+			case core.FaultDup:
+				net.metrics.FaultDups++
+				duplicate = true
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDup, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDup.String()})
+			case core.FaultCorrupt:
+				net.metrics.FaultCorrupts++
+				payload = core.CorruptPayload(payload, net.faultRng)
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultCorrupt, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultCorrupt.String()})
+			case core.FaultJitter:
+				net.metrics.FaultJitters++
+				extraDelay = net.cfg.faults.JitterDelay(net.faultRng)
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultJitter, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultJitter.String()})
+			}
+		}
 		net.metrics.Hops++
-		dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
-		net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+		revBuf[len(revBuf)-2-i] = anr.Hop{Link: port.RemoteID}
+		at := net.now + net.hwDelayOnce() + extraDelay
+		if at == net.now {
+			// Zero-delay hop: the packet is at the next subsystem already
+			// (at == now implies hwDelayOnce drew nothing: C <= 1 never
+			// draws, and C >= 1 or jitter would have advanced at). A
+			// fault-injected duplicate always re-crosses after a jitter
+			// delay >= 1, so it alone leaves the instant and goes through
+			// the scheduler; its bookkeeping runs before the walk continues
+			// so both modes draw jitter at the same stream position.
+			if duplicate {
+				net.metrics.Hops++
+				dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
+				net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+			}
+			if net.cfg.cutThrough {
+				net.stats.FusedHops++
+				cur, i, arrivedOn = port.Remote, i+1, port.RemoteID
+				continue
+			}
+			// Unfused reference path: the continuation becomes a real event
+			// — record from the pool, sequence number, same-time lane —
+			// popped back immediately so the walk stays depth-first like
+			// the fused path. Earlier lane entries keep their place; they
+			// were scheduled before this hop and run after the walk, in
+			// both modes.
+			net.pushHop(net.now, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+			ev := net.lane.popBack()
+			net.eventCount++
+			r := ev.rec
+			cur, i, arrivedOn, payload = r.node, int(r.hopIdx), r.arrivedOn, r.payload
+			net.freeRec(r)
+			continue
+		}
+		net.pushHop(at, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+		if duplicate {
+			net.metrics.Hops++
+			dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
+			net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+		}
+		return
 	}
 }
 
@@ -696,6 +1002,55 @@ func (a eventRec) before(b eventRec) bool {
 		return a.t < b.t
 	}
 	return a.seq < b.seq
+}
+
+// eventLane is the same-time FIFO in front of the heap: events scheduled
+// for the current instant are appended here in sequence order and popped
+// from the front, an O(1) path that skips the heap sift entirely. The
+// unfused reference walk additionally pops its own just-pushed continuation
+// from the back (a one-element excursion that cannot touch earlier
+// entries). The head index avoids shifting; the backing array is recycled
+// whenever the lane empties.
+type eventLane struct {
+	evs  []eventRec
+	head int
+}
+
+// ringWindow is the span of the near-time calendar ring: events scheduled
+// for t with t - now < ringWindow wait in the FIFO slot t % ringWindow
+// instead of the heap. Under the model's unit-delay defaults (C <= 1,
+// P = 1) nearly all schedules — activations, NCU queueing tails, small
+// jitters — land inside the window, so the heap degenerates to a far-future
+// overflow structure. The window must stay small enough that scanning it for
+// the next nonempty slot is cheap; 64 slots cover NCU backlogs two orders of
+// magnitude beyond the defaults while the scan stays within one cache line
+// of lane headers per step.
+const ringWindow = 64
+
+func (l *eventLane) len() int { return len(l.evs) - l.head }
+
+func (l *eventLane) pushBack(e eventRec) { l.evs = append(l.evs, e) }
+
+func (l *eventLane) popFront() eventRec {
+	e := l.evs[l.head]
+	l.evs[l.head].rec = nil // drop the pool reference
+	l.head++
+	if l.head == len(l.evs) {
+		l.evs = l.evs[:0]
+		l.head = 0
+	}
+	return e
+}
+
+func (l *eventLane) popBack() eventRec {
+	e := l.evs[len(l.evs)-1]
+	l.evs[len(l.evs)-1].rec = nil
+	l.evs = l.evs[:len(l.evs)-1]
+	if l.head == len(l.evs) {
+		l.evs = l.evs[:0]
+		l.head = 0
+	}
+	return e
 }
 
 // eventHeap is a 4-ary min-heap ordered by (t, seq). Compared with the

@@ -121,9 +121,11 @@ type DB struct {
 	// O(records) even though every node of a big network keeps its own DB).
 	// Lookup is a linear scan while the store is small — the common case
 	// for the per-node databases built during convergence — and switches to
-	// the slot map once the store outgrows slotThreshold.
+	// the direct-index slot table once the store outgrows slotThreshold.
+	// Node IDs are dense small integers, so the table is a slice, not a map:
+	// convergence workloads probe it on every record of every broadcast.
 	ents []entry
-	slot map[core.NodeID]int32 // nil until len(ents) > slotThreshold
+	slot []int32 // slot[u] = entry index of node u, -1 if unknown; nil until len(ents) > slotThreshold
 
 	// The materialized believed-topology graph, rebuilt in place (Reset +
 	// refill) when the version moves.
@@ -189,8 +191,11 @@ func NewDB() *DB {
 // slotOf returns the store slot holding u's record.
 func (db *DB) slotOf(u core.NodeID) (int32, bool) {
 	if db.slot != nil {
-		s, ok := db.slot[u]
-		return s, ok
+		if int(u) >= len(db.slot) {
+			return 0, false
+		}
+		s := db.slot[u]
+		return s, s >= 0
 	}
 	for s := range db.ents {
 		if db.ents[s].rec.Node == u {
@@ -198,6 +203,19 @@ func (db *DB) slotOf(u core.NodeID) (int32, bool) {
 		}
 	}
 	return 0, false
+}
+
+// setSlot records u's entry index in the slot table, growing it as needed.
+func (db *DB) setSlot(u core.NodeID, s int32) {
+	if int(u) >= len(db.slot) {
+		grown := make([]int32, int(u)+1+len(db.slot)/2)
+		copy(grown, db.slot)
+		for i := len(db.slot); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		db.slot = grown
+	}
+	db.slot[u] = s
 }
 
 // Version returns the routing-plane version: it advances exactly when a
@@ -265,11 +283,10 @@ func (db *DB) Update(rec Record) bool {
 		}
 		db.ents = append(db.ents, entry{rec: Record{Node: rec.Node}})
 		if db.slot != nil {
-			db.slot[rec.Node] = s
+			db.setSlot(rec.Node, s)
 		} else if len(db.ents) > slotThreshold {
-			db.slot = make(map[core.NodeID]int32, 2*len(db.ents))
 			for i := range db.ents {
-				db.slot[db.ents[i].rec.Node] = int32(i)
+				db.setSlot(db.ents[i].rec.Node, int32(i))
 			}
 		}
 	} else if db.ents[s].rec.Seq >= rec.Seq {
@@ -591,8 +608,11 @@ func (db *DB) View() *graph.Graph {
 			}
 			rev, revFound, revKnown := db.findLink(l.Neighbor, r.Node)
 			vUp := revFound && rev.Up
-			if !revKnown || vUp {
-				db.view.MustAddEdge(r.Node, l.Neighbor) // idempotent for the reverse pass
+			// When both records agree the link is up, both passes reach this
+			// point; only the lower-ID endpoint inserts, so each edge is
+			// added exactly once.
+			if !revKnown || (vUp && r.Node < l.Neighbor) {
+				db.view.MustAddEdge(r.Node, l.Neighbor)
 			}
 		}
 	}

@@ -122,3 +122,18 @@ type Discard struct{}
 
 // Record implements Sink.
 func (Discard) Record(Event) {}
+
+// PerNode projects a trace onto its nodes: events grouped by Event.Node,
+// preserving stream order within each node. The projection is the
+// per-observer view of an execution — what one NCU and its switching
+// subsystem saw, in the order they saw it — and is the comparison unit of
+// the cut-through differential tests: executions that interleave
+// differently across nodes but look identical to every observer are
+// behaviorally equivalent.
+func PerNode(events []Event) map[graph.NodeID][]Event {
+	byNode := make(map[graph.NodeID][]Event)
+	for _, e := range events {
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	return byNode
+}

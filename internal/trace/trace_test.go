@@ -83,3 +83,26 @@ func TestDiscard(t *testing.T) {
 	var d Discard
 	d.Record(Event{Kind: KindDrop}) // must not panic
 }
+
+func TestPerNode(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSend, Time: 0, Node: 1, Msg: 1},
+		{Kind: KindDeliver, Time: 1, Node: 2, Msg: 1},
+		{Kind: KindSend, Time: 1, Node: 2, Msg: 2},
+		{Kind: KindDeliver, Time: 2, Node: 1, Msg: 2},
+		{Kind: KindFaultDrop, Time: 3, Node: 2, Cause: "drop"},
+	}
+	p := PerNode(evs)
+	if len(p) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(p))
+	}
+	if got := p[1]; len(got) != 2 || got[0].Msg != 1 || got[1].Msg != 2 {
+		t.Fatalf("node 1 projection = %+v", got)
+	}
+	if got := p[2]; len(got) != 3 || got[2].Kind != KindFaultDrop {
+		t.Fatalf("node 2 projection = %+v", got)
+	}
+	if p := PerNode(nil); len(p) != 0 {
+		t.Fatalf("empty projection = %+v", p)
+	}
+}
