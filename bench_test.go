@@ -85,6 +85,20 @@ func BenchmarkE21Reliability(b *testing.B) {
 	benchSpec(b, "E21")
 }
 
+// E22 is a 100-run election sweep; short mode benchmarks one soak point with
+// the reorder profile live (invariant I7 included) instead.
+func BenchmarkE22Reorder(b *testing.B) {
+	if testing.Short() {
+		benchSoak(b, faults.Config{
+			Seed: 1, Epochs: 2, Mode: topology.ModeFlood,
+			Flaps: 1, Crashes: 1, Downtime: 2,
+			Reorder: 0.2, ReorderWindow: 12,
+		})
+		return
+	}
+	benchSpec(b, "E22")
+}
+
 // benchSoak runs one soak config per iteration on E20/E21's fabric.
 func benchSoak(b *testing.B, cfg faults.Config) {
 	g := graph.GNP(24, 0.25, 1)

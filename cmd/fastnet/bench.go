@@ -55,8 +55,28 @@ func runBench(args []string) error {
 	micro := fs.Bool("micro", true, "include the event-core micro benchmarks (events/sec)")
 	compare := fs.String("compare", "", "baseline BENCH_<date>.json to diff against (after writing the artifact)")
 	threshold := fs.Float64("threshold", 10, "ns/op regression tolerance for -compare, in percent; exceeding it exits nonzero")
+	requireAll := fs.Bool("require-all", false, "with -compare, fail when a baseline benchmark is missing from the new run")
+	from := fs.String("from", "", "compare an existing BENCH_<date>.json instead of running benchmarks (requires -compare)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Compare-only mode: load the fresh rows from an artifact written by an
+	// earlier run, so CI can gate artifact generation and keep the (noisy)
+	// comparison advisory without benchmarking twice.
+	if *from != "" {
+		if *compare == "" {
+			return fmt.Errorf("-from requires -compare")
+		}
+		data, err := os.ReadFile(*from)
+		if err != nil {
+			return err
+		}
+		var fresh benchFile
+		if err := json.Unmarshal(data, &fresh); err != nil {
+			return fmt.Errorf("%s: %w", *from, err)
+		}
+		return compareBaseline(fresh.Benchmarks, *compare, *threshold, *requireAll)
 	}
 
 	var ids []string
@@ -124,7 +144,7 @@ func runBench(args []string) error {
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(rows), path)
 	if *compare != "" {
-		return compareBaseline(rows, *compare, *threshold)
+		return compareBaseline(rows, *compare, *threshold, *requireAll)
 	}
 	return nil
 }
@@ -135,8 +155,11 @@ func runBench(args []string) error {
 // they are flagged in the table and make the command exit nonzero, so CI can
 // run this as a gate (or, with continue-on-error, as an advisory signal on
 // shared runners where timings are noisy). Benchmarks absent from the
-// baseline are reported but never fail the comparison.
-func compareBaseline(rows []benchRow, path string, threshold float64) error {
+// baseline are reported but never fail the comparison; baseline benchmarks
+// absent from the NEW run are silent drift — a renamed or dropped benchmark
+// would otherwise stop being tracked without anyone noticing — so requireAll
+// turns them into an error.
+func compareBaseline(rows []benchRow, path string, threshold float64, requireAll bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -148,6 +171,10 @@ func compareBaseline(rows []benchRow, path string, threshold float64) error {
 	baseBy := make(map[string]benchRow, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseBy[r.Name] = r
+	}
+	newBy := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		newBy[r.Name] = true
 	}
 	fmt.Printf("compare vs %s (%s, threshold +%.0f%%):\n", path, base.Date, threshold)
 	var regressions []string
@@ -165,6 +192,17 @@ func compareBaseline(rows []benchRow, path string, threshold float64) error {
 		}
 		fmt.Printf("  %-22s %15d -> %15d ns/op  %+7.1f%%   allocs %d -> %d%s\n",
 			r.Name, b.NsPerOp, r.NsPerOp, delta, b.AllocsPerOp, r.AllocsPerOp, mark)
+	}
+	var missing []string
+	for _, b := range base.Benchmarks {
+		if !newBy[b.Name] {
+			missing = append(missing, b.Name)
+			fmt.Printf("  %-22s %45s\n", b.Name, "(missing from new run)")
+		}
+	}
+	if requireAll && len(missing) > 0 {
+		return fmt.Errorf("%d baseline benchmark(s) missing from the new run: %s",
+			len(missing), strings.Join(missing, ", "))
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s: %s",

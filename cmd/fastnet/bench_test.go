@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline marshals a benchFile fixture for compareBaseline tests.
+func writeBaseline(t *testing.T, rows []benchRow) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{Date: "2026-01-01", Benchmarks: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBaselineRequireAll covers the -require-all contract: a baseline
+// benchmark missing from the new run is tolerated by default (advisory mode)
+// but an error when coverage is required — silent benchmark drift is exactly
+// what the flag exists to catch.
+func TestCompareBaselineRequireAll(t *testing.T) {
+	base := []benchRow{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 200},
+	}
+	path := writeBaseline(t, base)
+	fresh := []benchRow{{Name: "A", NsPerOp: 101}}
+
+	if err := compareBaseline(fresh, path, 10, false); err != nil {
+		t.Fatalf("advisory compare failed on a missing benchmark: %v", err)
+	}
+	err := compareBaseline(fresh, path, 10, true)
+	if err == nil {
+		t.Fatal("require-all accepted a run missing baseline benchmark B")
+	}
+	if !strings.Contains(err.Error(), "B") {
+		t.Fatalf("error does not name the missing benchmark: %v", err)
+	}
+}
+
+// TestCompareBaselineRegression pins the regression gate: exceeding the
+// threshold errors, staying within it does not, and new benchmarks without a
+// baseline never fail the comparison.
+func TestCompareBaselineRegression(t *testing.T) {
+	path := writeBaseline(t, []benchRow{{Name: "A", NsPerOp: 100}})
+
+	ok := []benchRow{{Name: "A", NsPerOp: 105}, {Name: "New", NsPerOp: 999}}
+	if err := compareBaseline(ok, path, 10, true); err != nil {
+		t.Fatalf("compare failed within threshold: %v", err)
+	}
+	slow := []benchRow{{Name: "A", NsPerOp: 150}}
+	if err := compareBaseline(slow, path, 10, true); err == nil {
+		t.Fatal("compare accepted a 50% regression with a 10% threshold")
+	}
+}
+
+// TestBenchFromArtifact covers compare-only mode: -from loads a previously
+// written artifact as the fresh rows, so CI can compare without rerunning
+// the suite, and -require-all composes with it.
+func TestBenchFromArtifact(t *testing.T) {
+	baseline := writeBaseline(t, []benchRow{{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 50}})
+	fresh := writeBaseline(t, []benchRow{{Name: "A", NsPerOp: 102}, {Name: "B", NsPerOp: 49}})
+	partial := writeBaseline(t, []benchRow{{Name: "A", NsPerOp: 102}})
+
+	if err := runBench([]string{"-from", fresh, "-compare", baseline, "-require-all"}); err != nil {
+		t.Fatalf("compare-only run failed on matching artifacts: %v", err)
+	}
+	if err := runBench([]string{"-from", partial, "-compare", baseline, "-require-all"}); err == nil {
+		t.Fatal("require-all accepted an artifact missing baseline benchmark B")
+	}
+	if err := runBench([]string{"-from", fresh}); err == nil {
+		t.Fatal("-from without -compare was accepted")
+	}
+}

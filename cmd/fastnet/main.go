@@ -283,6 +283,8 @@ func runSoak(args []string) error {
 		corrupt     = fs.Float64("corrupt", 0, "per-traversal corruption probability")
 		jitter      = fs.Float64("jitter", 0, "per-traversal extra-delay probability")
 		jitterMax   = fs.Int("jittermax", 0, "max extra per-hop delay (default 4)")
+		reorder     = fs.Float64("reorder", 0, "per-traversal reorder probability (arms invariant I7)")
+		reorderWin  = fs.Int("reorder-window", 0, "max reorder displacement in ticks (default 8)")
 		reliableN   = fs.Int("reliable", 0, "reliable ledger messages per epoch (invariant I6)")
 		burstEvery  = fs.Int("burst-every", 0, "scale the fault profile up every k-th epoch (0 = off)")
 		burstScale  = fs.Float64("burst-scale", 0, "burst multiplier (default 2)")
@@ -330,6 +332,8 @@ func runSoak(args []string) error {
 		Corrupt:        *corrupt,
 		Jitter:         *jitter,
 		JitterMax:      *jitterMax,
+		Reorder:        *reorder,
+		ReorderWindow:  *reorderWin,
 		BurstEvery:     *burstEvery,
 		BurstScale:     *burstScale,
 		Reliable:       *reliableN,

@@ -1,0 +1,17 @@
+package core
+
+// FIFORequirer is the capability a protocol declares when its correctness
+// depends on FIFO link delivery — the assumption the paper makes only for
+// the §5 pipelined protocols. Declaring it does nothing by itself: the
+// runtimes do not promise FIFO under randomized delays or reorder faults.
+// It marks the protocol as an opt-in client of a resequencing sublayer
+// (internal/reseq), which restores per-(link,direction) order in software.
+type FIFORequirer interface {
+	RequiresFIFO() bool
+}
+
+// RequiresFIFO reports whether p declares the FIFO-links capability.
+func RequiresFIFO(p Protocol) bool {
+	f, ok := p.(FIFORequirer)
+	return ok && f.RequiresFIFO()
+}

@@ -49,6 +49,9 @@ type Metrics struct {
 	FaultCorrupts int64
 	// FaultJitters counts link traversals hit by extra delay/reordering.
 	FaultJitters int64
+	// FaultReorders counts link traversals whose packet was held back past
+	// later traffic on the same link (the FIFO-violation fault).
+	FaultReorders int64
 	// FinishTime is the virtual time of the last NCU activation
 	// (discrete-event runtime only; 0 in the goroutine runtime).
 	FinishTime Time
@@ -66,9 +69,15 @@ func (m Metrics) Syscalls() int64 {
 func (m Metrics) String() string {
 	s := fmt.Sprintf("hops=%d deliveries=%d (copies=%d) injections=%d linkEvents=%d sends=%d packets=%d drops=%d time=%d",
 		m.Hops, m.Deliveries, m.CopyDeliveries, m.Injections, m.LinkEvents, m.Sends, m.Packets, m.Drops, m.FinishTime)
-	if m.FaultDrops+m.FaultDups+m.FaultCorrupts+m.FaultJitters > 0 {
-		s += fmt.Sprintf(" faults(drop=%d dup=%d corrupt=%d jitter=%d)",
+	if m.FaultDrops+m.FaultDups+m.FaultCorrupts+m.FaultJitters+m.FaultReorders > 0 {
+		s += fmt.Sprintf(" faults(drop=%d dup=%d corrupt=%d jitter=%d",
 			m.FaultDrops, m.FaultDups, m.FaultCorrupts, m.FaultJitters)
+		// Reorder is rendered only when it fired, keeping pre-reorder fault
+		// tables byte-identical.
+		if m.FaultReorders > 0 {
+			s += fmt.Sprintf(" reorder=%d", m.FaultReorders)
+		}
+		s += ")"
 	}
 	return s
 }
@@ -90,6 +99,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.FaultDups += other.FaultDups
 	m.FaultCorrupts += other.FaultCorrupts
 	m.FaultJitters += other.FaultJitters
+	m.FaultReorders += other.FaultReorders
 	if other.MaxHeaderHops > m.MaxHeaderHops {
 		m.MaxHeaderHops = other.MaxHeaderHops
 	}

@@ -37,11 +37,20 @@ type MsgFaults struct {
 	Jitter float64
 	// JitterMax bounds the extra per-hop delay; 0 means 1.
 	JitterMax Time
+	// Reorder is the probability a traversal violates the link's FIFO
+	// discipline: the packet is held back by extra hardware time drawn from
+	// [1, ReorderWindow] (discrete-event runtime) or re-enqueued at a random
+	// inbox position (goroutine runtime), letting later traffic on the same
+	// link overtake it. It is jitter's channel-order sibling, counted and
+	// traced separately so FIFO-sensitive protocols can attribute failures.
+	Reorder float64
+	// ReorderWindow bounds how far a reordered packet can lag; 0 means 1.
+	ReorderWindow Time
 }
 
 // Enabled reports whether any perturbation is configured.
 func (f MsgFaults) Enabled() bool {
-	return f.Drop > 0 || f.Dup > 0 || f.Corrupt > 0 || f.Jitter > 0
+	return f.Drop > 0 || f.Dup > 0 || f.Corrupt > 0 || f.Jitter > 0 || f.Reorder > 0
 }
 
 // Scale returns a copy of f with every probability multiplied by k (capped
@@ -52,13 +61,20 @@ func (f MsgFaults) Scale(k float64) MsgFaults {
 	s.Dup = min(1, f.Dup*k)
 	s.Corrupt = min(1, f.Corrupt*k)
 	s.Jitter = min(1, f.Jitter*k)
+	s.Reorder = min(1, f.Reorder*k)
 	return s
 }
 
-// String renders the profile for repro lines.
+// String renders the profile for repro lines. The reorder dimension is
+// appended only when configured, so profiles predating it keep their
+// historical byte-identical rendering.
 func (f MsgFaults) String() string {
-	return fmt.Sprintf("drop=%g dup=%g corrupt=%g jitter=%g/%d",
+	s := fmt.Sprintf("drop=%g dup=%g corrupt=%g jitter=%g/%d",
 		f.Drop, f.Dup, f.Corrupt, f.Jitter, f.JitterMax)
+	if f.Reorder > 0 {
+		s += fmt.Sprintf(" reorder=%g/%d", f.Reorder, f.ReorderWindow)
+	}
+	return s
 }
 
 // MsgFault is the outcome of one per-traversal roll.
@@ -71,6 +87,7 @@ const (
 	FaultDup
 	FaultCorrupt
 	FaultJitter
+	FaultReorder
 )
 
 // String names the fault for trace cause tags.
@@ -86,6 +103,8 @@ func (k MsgFault) String() string {
 		return "corrupt"
 	case FaultJitter:
 		return "jitter"
+	case FaultReorder:
+		return "reorder"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -110,6 +129,8 @@ func (f MsgFaults) Roll(r *rand.Rand) MsgFault {
 		return FaultCorrupt
 	case u < f.Drop+f.Dup+f.Corrupt+f.Jitter:
 		return FaultJitter
+	case u < f.Drop+f.Dup+f.Corrupt+f.Jitter+f.Reorder:
+		return FaultReorder
 	default:
 		return FaultNone
 	}
@@ -121,6 +142,14 @@ func (f MsgFaults) JitterDelay(r *rand.Rand) Time {
 		return 1
 	}
 	return 1 + Time(r.Int63n(int64(f.JitterMax)))
+}
+
+// ReorderDelay draws the extra hold-back delay of one reorder fault.
+func (f MsgFaults) ReorderDelay(r *rand.Rand) Time {
+	if f.ReorderWindow <= 1 {
+		return 1
+	}
+	return 1 + Time(r.Int63n(int64(f.ReorderWindow)))
 }
 
 // Corruptible lets a payload type opt into realistic corruption: the fault

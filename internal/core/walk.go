@@ -30,8 +30,8 @@ type Delivery struct {
 	// delivery: a corruption fault upstream damaged the packet before it
 	// got here.
 	Payload any
-	// Reordered marks deliveries behind a jitter fault; the goroutine
-	// runtime honors it by enqueueing at a random inbox position.
+	// Reordered marks deliveries behind a jitter or reorder fault; the
+	// goroutine runtime honors it by enqueueing at a random inbox position.
 	Reordered bool
 }
 
@@ -259,6 +259,9 @@ func WalkRouteFaults(pm *PortMap, up LinkStateFunc, filter HopFilter, roll Fault
 				tainted = true
 			case FaultJitter:
 				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultJitter, At: cur})
+				reordered = true
+			case FaultReorder:
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultReorder, At: cur})
 				reordered = true
 			}
 			tr.Hops++

@@ -123,10 +123,12 @@ func Run(g *graph.Graph, algo Algorithm, starters []core.NodeID, opts ...sim.Opt
 	}, nil
 }
 
-// RunAsync executes one election on the goroutine runtime.
-func RunAsync(g *graph.Graph, algo Algorithm, starters []core.NodeID, seed int64, timeout time.Duration) (Result, error) {
+// RunAsync executes one election on the goroutine runtime. Extra options
+// (e.g. a reorder fault profile) are appended after the driver's own.
+func RunAsync(g *graph.Graph, algo Algorithm, starters []core.NodeID, seed int64, timeout time.Duration, opts ...gosim.Option) (Result, error) {
 	stats := &Stats{}
-	net := gosim.New(g, factory(algo, stats), gosim.WithSeed(seed), gosim.WithDmax(Dmax(g.N())))
+	base := []gosim.Option{gosim.WithSeed(seed), gosim.WithDmax(Dmax(g.N()))}
+	net := gosim.New(g, factory(algo, stats), append(base, opts...)...)
 	defer net.Shutdown()
 	for _, s := range starters {
 		net.Inject(s, Start{})

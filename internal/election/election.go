@@ -111,6 +111,30 @@ type announceMsg struct {
 	Routes []announceSpec
 }
 
+// floodMsg is the recovery transport for non-FIFO executions. Under
+// reordering a node's retained INOUT tree can be stale — the capture data
+// that would contain the entry node is still in flight — so a needed ANR
+// route may not be derivable yet. Rather than panic, the message is flooded
+// to its target: every node relays once per (Origin, Seq), and Back
+// accumulates a valid ANR route from the current holder back to Origin (one
+// reverse hop per relay, mirroring the hardware reverse-route facility), so
+// a flooded tour entry still learns its return route. Floods cost extra
+// system calls, counted in Stats.FloodRelays and kept out of the 6n measure:
+// the algorithm degrades instead of crashing.
+type floodMsg struct {
+	Origin core.NodeID
+	Seq    int64
+	Target core.NodeID
+	Back   anr.Header
+	Inner  any // *tourMsg, *returnMsg, or *announceMsg
+}
+
+// floodKey dedups flood relays.
+type floodKey struct {
+	Origin core.NodeID
+	Seq    int64
+}
+
 // Stats aggregates algorithm-message counts across all nodes of one
 // network; the 6n bound of Theorem 5 is checked against TourMsgs+Returns.
 type Stats struct {
@@ -120,6 +144,15 @@ type Stats struct {
 	Waits     atomic.Int64
 	Retires   atomic.Int64
 	Announces atomic.Int64
+	// Recoveries counts graceful degradations under non-FIFO delivery: a
+	// route derivation hit a stale tree and the node fell back (direct
+	// neighbor link, flood transport, or a setwise merge without the tree
+	// graft) instead of panicking.
+	Recoveries atomic.Int64
+	// FloodRelays counts relay activations of the flood transport. They are
+	// recovery overhead, not algorithm messages, so they stay outside
+	// AlgorithmMessages (the 6n bound measures the FIFO-clean algorithm).
+	FloodRelays atomic.Int64
 }
 
 // AlgorithmMessages is the system-call count attributed to candidate tours
@@ -153,6 +186,10 @@ type Protocol struct {
 
 	// waiting is the single parked foreign token (rule 2.3).
 	waiting *tourToken
+
+	// Flood-transport state (non-FIFO recovery).
+	floodSeq   int64
+	seenFloods map[floodKey]bool
 }
 
 var _ core.Protocol = (*Protocol)(nil)
@@ -160,7 +197,7 @@ var _ core.Protocol = (*Protocol)(nil)
 // New returns the election protocol for one node. All nodes of one network
 // must share the same Stats.
 func New(id core.NodeID, stats *Stats) *Protocol {
-	return &Protocol{id: id, stats: stats, state: StateNotLeader}
+	return &Protocol{id: id, stats: stats, state: StateNotLeader, seenFloods: make(map[floodKey]bool)}
 }
 
 // State returns the node's election outcome (valid once the network is
@@ -204,6 +241,78 @@ func (p *Protocol) Deliver(env core.Env, pkt core.Packet) {
 			p.state = StateLeaderElected
 		}
 		p.relayAnnounce(env, m)
+	case *floodMsg:
+		key := floodKey{Origin: m.Origin, Seq: m.Seq}
+		if p.seenFloods[key] {
+			return
+		}
+		p.seenFloods[key] = true
+		// Extend the accumulated back-route by this relay hop: pkt.Reverse
+		// is ANR(here -> previous holder), Back is ANR(previous holder ->
+		// Origin).
+		back := anr.Concat(pkt.Reverse, m.Back)
+		if p.id == m.Target {
+			p.consumeFlood(env, m, back)
+			return
+		}
+		p.stats.FloodRelays.Add(1)
+		p.relayFlood(env, &floodMsg{Origin: m.Origin, Seq: m.Seq, Target: m.Target, Back: back, Inner: m.Inner}, pkt.ArrivedOn)
+	}
+}
+
+// flood launches the recovery transport: the message reaches target by
+// component-wide dedup'd flooding instead of a derived ANR route.
+func (p *Protocol) flood(env core.Env, target core.NodeID, inner any) {
+	p.stats.Recoveries.Add(1)
+	p.floodSeq++
+	m := &floodMsg{Origin: p.id, Seq: p.floodSeq, Target: target, Back: anr.Local(), Inner: inner}
+	p.seenFloods[floodKey{Origin: m.Origin, Seq: m.Seq}] = true
+	p.relayFlood(env, m, anr.NCU)
+}
+
+// relayFlood fans the flood out over every live port except the arrival one
+// (single-hop routes, one multicast activation).
+func (p *Protocol) relayFlood(env core.Env, m *floodMsg, arrivedOn anr.ID) {
+	var hs []anr.Header
+	for _, port := range env.Ports() {
+		if !port.Up || port.Local == arrivedOn {
+			continue
+		}
+		hs = append(hs, anr.Direct([]anr.ID{port.Local}))
+	}
+	if len(hs) == 0 {
+		return
+	}
+	if err := env.Multicast(hs, m); err != nil {
+		panic(fmt.Sprintf("election: flood relay: %v", err))
+	}
+}
+
+// consumeFlood delivers a flooded message at its target through the normal
+// handlers, so the algorithm's accounting and rules are identical to the
+// direct-route path.
+func (p *Protocol) consumeFlood(env core.Env, m *floodMsg, back anr.Header) {
+	switch inner := m.Inner.(type) {
+	case *tourMsg:
+		p.ensureStarted(env)
+		tok := inner.Tok
+		if tok.RetO == nil {
+			// Flooded entry hop: the accumulated flood route stands in for
+			// the hardware reverse route.
+			tok.RetO = back
+		}
+		p.stats.TourMsgs.Add(1)
+		p.onTokenArrival(env, tok)
+	case *returnMsg:
+		p.stats.Returns.Add(1)
+		p.onComeback(env, inner)
+	case *announceMsg:
+		p.stats.Announces.Add(1)
+		if p.state != StateLeader {
+			p.state = StateLeaderElected
+		}
+		// No relay: flooded announcements target tree-orphaned members, which
+		// own no branching paths.
 	}
 }
 
@@ -267,10 +376,6 @@ func (p *Protocol) tour(env core.Env) {
 		return
 	}
 	o := p.pickOut()
-	route, err := p.inout.route(o)
-	if err != nil {
-		panic(err)
-	}
 	tok := tourToken{
 		Cand:  p.id,
 		Size:  len(p.in),
@@ -279,6 +384,13 @@ func (p *Protocol) tour(env core.Env) {
 		O:     o,
 	}
 	p.onTour = true
+	route, err := p.inout.route(o)
+	if err != nil {
+		// A degraded merge left o in OUT but not in the tree: flood the
+		// entry; the accumulated flood route becomes the token's RetO.
+		p.flood(env, o, &tourMsg{Tok: tok})
+		return
+	}
 	if err := env.Send(route, &tourMsg{Tok: tok}); err != nil {
 		panic(fmt.Sprintf("election: tour send: %v", err))
 	}
@@ -305,6 +417,12 @@ func (p *Protocol) onTokenArrival(env core.Env, tok tourToken) {
 			return
 		}
 		tok.Hops++
+		if p.fRoute == nil {
+			// Captured without a derivable route home (stale tree at capture
+			// time): chase via the flood transport instead.
+			p.flood(env, p.fTarget, &tourMsg{Tok: tok})
+			return
+		}
 		if err := env.Send(p.fRoute, &tourMsg{Tok: tok}); err != nil {
 			panic(fmt.Sprintf("election: chase send: %v", err))
 		}
@@ -342,8 +460,8 @@ func (p *Protocol) onTokenArrival(env core.Env, tok tourToken) {
 // captureMe executes rule 2.2 at the captured origin: set the virtual-tree
 // parent pointer and ship the domain data home with the visiting candidate.
 func (p *Protocol) captureMe(env core.Env, tok tourToken) {
-	home := p.routeHome(tok)
-	p.fRoute = home
+	home, ok := p.routeHome(env, tok)
+	p.fRoute = home // nil under a failed derivation: chases then flood
 	p.fTarget = tok.Cand
 	p.isOrigin = false
 	p.active = false
@@ -356,28 +474,50 @@ func (p *Protocol) captureMe(env core.Env, tok tourToken) {
 		Tree: p.inout.wire(),
 		O:    tok.O,
 	}
-	if err := env.Send(home, &returnMsg{Cand: tok.Cand, Capture: data}); err != nil {
+	m := &returnMsg{Cand: tok.Cand, Capture: data}
+	if !ok {
+		p.flood(env, tok.Cand, m)
+		return
+	}
+	if err := env.Send(home, m); err != nil {
 		panic(fmt.Sprintf("election: capture send: %v", err))
 	}
 }
 
 // sendHome routes a token back to its origin: ANR(v, o) from the local
-// retained INOUT tree concatenated with the carried ANR(o, origin).
+// retained INOUT tree concatenated with the carried ANR(o, origin). When no
+// route is derivable the return goes home over the flood transport.
 func (p *Protocol) sendHome(env core.Env, tok tourToken, m *returnMsg) {
-	if err := env.Send(p.routeHome(tok), m); err != nil {
+	route, ok := p.routeHome(env, tok)
+	if !ok {
+		p.flood(env, tok.Cand, m)
+		return
+	}
+	if err := env.Send(route, m); err != nil {
 		panic(fmt.Sprintf("election: return send: %v", err))
 	}
 }
 
-func (p *Protocol) routeHome(tok tourToken) anr.Header {
+// routeHome derives the route back to tok's origin. Under FIFO delivery the
+// derivation always succeeds (the paper's o ∈ IN_v argument); under
+// reordering the retained tree can be stale — the capture data that would
+// contain tok.O is still in flight — so instead of panicking the node
+// re-derives from what it has: the carried reverse route when it is the
+// entry node itself, the tree route via tok.O, or a direct link to the
+// candidate's home. ok=false means none applies and the caller must fall
+// back to the flood transport.
+func (p *Protocol) routeHome(env core.Env, tok tourToken) (anr.Header, bool) {
 	if p.id == tok.O {
-		return tok.RetO
+		return tok.RetO, true
 	}
-	toO, err := p.inout.route(tok.O)
-	if err != nil {
-		panic(fmt.Sprintf("election: node %d has no route to entry node %d: %v", p.id, tok.O, err))
+	if toO, err := p.inout.route(tok.O); err == nil {
+		return anr.Concat(toO, tok.RetO), true
 	}
-	return anr.Concat(toO, tok.RetO)
+	if port, ok := env.PortToward(tok.Cand); ok && port.Up {
+		p.stats.Recoveries.Add(1)
+		return anr.Direct([]anr.ID{port.Local}), true
+	}
+	return nil, false
 }
 
 // onComeback processes the candidate's return and any waiter (rules 2.3/2.4
@@ -424,11 +564,16 @@ func (p *Protocol) merge(c *captureData) {
 		}
 	}
 	re, err := vTree.reroot(c.O)
-	if err != nil {
-		panic(fmt.Sprintf("election: merge reroot: %v", err))
-	}
-	if !p.inout.has(c.O) {
-		panic(fmt.Sprintf("election: entry node %d missing from capturer tree", c.O))
+	if err != nil || !p.inout.has(c.O) {
+		// The captured node's shipped tree is stale: it was itself captured
+		// through entry node c.O before its own merge of the sub-domain
+		// containing c.O arrived (possible only under non-FIFO delivery).
+		// Fold the IN/OUT sets and skip the tree graft — every downstream
+		// route consumer (tour entries, returns, announcements) falls back
+		// to the flood transport for the unreachable members.
+		p.stats.Recoveries.Add(1)
+		p.mergeSets(c)
+		return
 	}
 	for _, e := range re.wire() {
 		if p.inout.has(e.Node) {
@@ -438,6 +583,11 @@ func (p *Protocol) merge(c *captureData) {
 			panic(fmt.Sprintf("election: merge graft: %v", err))
 		}
 	}
+	p.mergeSets(c)
+}
+
+// mergeSets folds the captured IN/OUT sets: IN ∪= IN_v, OUT = (OUT ∪ OUT_v) − IN.
+func (p *Protocol) mergeSets(c *captureData) {
 	for _, x := range c.In {
 		p.in[x] = true
 		delete(p.out, x)
@@ -462,6 +612,16 @@ func (p *Protocol) becomeLeader(env core.Env) {
 	}
 	msg := &announceMsg{Leader: p.id, Routes: p.announceRoutes()}
 	p.relayAnnounce(env, msg)
+	// Degraded merges can leave domain members out of the INOUT tree, so the
+	// branching paths miss them; they learn the result by flood (ascending
+	// order for determinism).
+	orphans := setToSlice(p.in)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, x := range orphans {
+		if x != p.id && !p.inout.has(x) {
+			p.flood(env, x, msg)
+		}
+	}
 }
 
 // announceRoutes decomposes the INOUT tree into branching paths.

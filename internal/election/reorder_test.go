@@ -1,0 +1,81 @@
+package election
+
+import (
+	"testing"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// TestReorderRepro pins ROADMAP's standing flake as a regression test: under
+// WithRandomDelays this exact seed used to reorder a capture data message
+// behind a chased token, leaving routeHome with a stale tree and a panic
+// ("node X has no route to entry node O"). The run must now complete
+// panic-free with a single full-domain leader, and the recovery path must
+// actually fire — otherwise the test no longer exercises the fallback.
+func TestReorderRepro(t *testing.T) {
+	const seed = 0x19d04439f8b8e55
+	g := graph.GNP(20, 0.2, seed)
+	res, err := Run(g, AlgoToken, allNodes(20),
+		sim.WithDelays(7, 8), sim.WithRandomDelays(), sim.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderDomain != g.N() {
+		t.Fatalf("leader domain = %d, want %d", res.LeaderDomain, g.N())
+	}
+	if res.Stats.Recoveries.Load() == 0 {
+		t.Fatal("repro no longer reaches the stale-tree recovery path; re-pin the seed")
+	}
+}
+
+// TestReorderSoakDES runs the election under an aggressive reorder fault
+// profile across seeds: the invariant (single leader, full domain, 6n bound)
+// must survive arbitrary per-link reordering on the discrete-event runtime.
+func TestReorderSoakDES(t *testing.T) {
+	profile := core.MsgFaults{Reorder: 0.25, ReorderWindow: 40}
+	for seed := int64(1); seed <= 12; seed++ {
+		g := graph.GNP(20, 0.25, seed)
+		if !g.Connected() {
+			continue
+		}
+		res, err := Run(g, AlgoToken, allNodes(20),
+			sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(seed),
+			sim.WithMsgFaults(profile))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LeaderDomain != g.N() {
+			t.Fatalf("seed %d: leader domain = %d, want %d", seed, res.LeaderDomain, g.N())
+		}
+		if res.AlgorithmMessages > int64(6*g.N()) {
+			t.Fatalf("seed %d: messages = %d > 6n", seed, res.AlgorithmMessages)
+		}
+	}
+}
+
+// TestReorderSoakGosim is the goroutine-runtime sibling: reorder faults
+// shuffle inbox positions on top of the scheduler's own asynchrony.
+func TestReorderSoakGosim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("async soak skipped in -short mode")
+	}
+	profile := core.MsgFaults{Reorder: 0.25, ReorderWindow: 40}
+	for seed := int64(1); seed <= 6; seed++ {
+		g := graph.GNP(18, 0.25, seed)
+		if !g.Connected() {
+			continue
+		}
+		res, err := RunAsync(g, AlgoToken, allNodes(18), seed, 30*time.Second,
+			gosim.WithMsgFaults(profile))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LeaderDomain != g.N() {
+			t.Fatalf("seed %d: leader domain = %d, want %d", seed, res.LeaderDomain, g.N())
+		}
+	}
+}

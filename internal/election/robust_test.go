@@ -93,14 +93,19 @@ func TestGosimManySeedsQuick(t *testing.T) {
 }
 
 // TestRandomDelaySweepQuick checks the bound across delay regimes: the
-// theorem is about system calls, so it must hold for any C and P.
+// theorem is about system calls, so it must hold for any C and P. Random
+// delays reorder packets sharing a link, and a reorder fault profile piles
+// on; the recovery path (stale-tree fallbacks, flood transport) keeps the
+// runs panic-free — this sweep was flaky before routeHome learned to
+// degrade instead of crash.
 func TestRandomDelaySweepQuick(t *testing.T) {
 	f := func(seed int64, cRaw, pRaw uint8) bool {
 		n := 20
 		g := graph.GNP(n, 0.2, seed)
 		res, err := Run(g, AlgoToken, allNodes(n),
 			sim.WithDelays(core.Time(cRaw%10), core.Time(pRaw%10)+1),
-			sim.WithRandomDelays(), sim.WithSeed(seed))
+			sim.WithRandomDelays(), sim.WithSeed(seed),
+			sim.WithMsgFaults(core.MsgFaults{Reorder: 0.1, ReorderWindow: 20}))
 		if err != nil {
 			return false
 		}

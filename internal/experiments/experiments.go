@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative artefact of the paper:
 // one runner per experiment ID (E1..E14 for the paper's own artefacts,
-// E15..E21 for extensions; see DESIGN.md's index). The
+// E15..E22 for extensions; see DESIGN.md's index). The
 // runners return plain tables that cmd/fastnet renders and that
 // bench_test.go wraps as benchmarks.
 package experiments
@@ -137,6 +137,7 @@ func All() []Spec {
 		{ID: "E19", Title: "Extension: broadcast-with-feedback (PIF) — §6's other-algorithms question", Run: E19PIF},
 		{ID: "E20", Title: "Extension: degradation under churn — convergence, syscalls, re-election latency", Run: E20Degradation},
 		{ID: "E21", Title: "Extension: reliable delivery on lossy links — ARQ overhead and convergence vs loss", Run: E21Reliability},
+		{ID: "E22", Title: "Extension: election under non-FIFO links — 6n holds while recovery absorbs reordering", Run: E22Reorder},
 	}
 	sort.Slice(specs, func(i, j int) bool { return idOrder(specs[i].ID) < idOrder(specs[j].ID) })
 	return specs

@@ -8,8 +8,8 @@ import (
 
 func TestAllSpecsListed(t *testing.T) {
 	specs := All()
-	if len(specs) != 21 {
-		t.Fatalf("%d specs, want 21", len(specs))
+	if len(specs) != 22 {
+		t.Fatalf("%d specs, want 22", len(specs))
 	}
 	for i, s := range specs {
 		want := "E" + strconv.Itoa(i+1)

@@ -50,6 +50,13 @@ type Config struct {
 	Corrupt   float64 // per-traversal corruption probability
 	Jitter    float64 // per-traversal extra-delay probability
 	JitterMax int     // max extra delay in time units (default 4)
+	// Reorder is the per-traversal FIFO-violation probability. Besides
+	// joining the fabric profile, a nonzero value arms invariant I7: each
+	// epoch the largest live component re-runs the election under random
+	// delays plus a reorder-only profile, and must still elect a single
+	// leader owning the whole component.
+	Reorder       float64
+	ReorderWindow int // max hold-back delay in time units (default 8)
 
 	// BurstEvery > 0 scales the profile by BurstScale every BurstEvery-th
 	// epoch (loss comes in storms, not as a stationary rate).
@@ -81,6 +88,9 @@ func (cfg Config) Repro(topo string, n int) string {
 	if cfg.lossy() {
 		fmt.Fprintf(&b, " -loss %g -dup %g -corrupt %g -jitter %g -jittermax %d -reliable %d",
 			cfg.Loss, cfg.Dup, cfg.Corrupt, cfg.Jitter, cfg.jitterMax(), cfg.Reliable)
+		if cfg.Reorder > 0 {
+			fmt.Fprintf(&b, " -reorder %g -reorder-window %d", cfg.Reorder, cfg.reorderWindow())
+		}
 		if cfg.BurstEvery > 0 {
 			fmt.Fprintf(&b, " -burst-every %d -burst-scale %g", cfg.BurstEvery, cfg.burstScale())
 		}
@@ -102,6 +112,7 @@ func (cfg Config) msgFaults() core.MsgFaults {
 	return core.MsgFaults{
 		Drop: cfg.Loss, Dup: cfg.Dup, Corrupt: cfg.Corrupt,
 		Jitter: cfg.Jitter, JitterMax: core.Time(cfg.jitterMax()),
+		Reorder: cfg.Reorder, ReorderWindow: core.Time(cfg.reorderWindow()),
 	}
 }
 
@@ -113,6 +124,13 @@ func (cfg Config) jitterMax() int {
 		return 4
 	}
 	return cfg.JitterMax
+}
+
+func (cfg Config) reorderWindow() int {
+	if cfg.ReorderWindow <= 0 {
+		return 8
+	}
+	return cfg.ReorderWindow
 }
 
 func (cfg Config) burstScale() float64 {
@@ -166,6 +184,12 @@ type Result struct {
 	RelDupes   int64
 	RelBadSum  int64
 
+	// Reordered-election totals (I7); all zero unless Config.Reorder is set.
+	// ReorderRecoveries counts the election's graceful degradations (stale
+	// trees survived by fallback routing or the flood transport).
+	ReorderElections  int
+	ReorderRecoveries int64
+
 	// Sched snapshots the discrete-event scheduler's observability counters
 	// (zero on the goroutine runtime). Measurement only — deliberately not
 	// part of Line(), whose byte-identity contract is over simulation
@@ -184,6 +208,10 @@ func (r *Result) Line() string {
 	if r.RelSent > 0 {
 		rel = fmt.Sprintf(" reliable(sent=%d retx=%d dup=%d badsum=%d)",
 			r.RelSent, r.RelRetrans, r.RelDupes, r.RelBadSum)
+	}
+	if r.ReorderElections > 0 {
+		rel += fmt.Sprintf(" reorder(elections=%d recoveries=%d)",
+			r.ReorderElections, r.ReorderRecoveries)
 	}
 	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d)%s | %s",
 		r.Epochs, len(r.Violations), r.FaultFlips, r.ConvRounds, r.ConvMax,
@@ -566,6 +594,14 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 		if ok, err := r.checkElection(epoch); err != nil || !ok {
 			return ok, err
 		}
+		// I7: the election survives non-FIFO links — re-run it under random
+		// delays plus a reorder-only profile; the single-leader/full-domain
+		// invariant must hold with the stale-tree recovery paths live.
+		if r.cfg.Reorder > 0 {
+			if ok, err := r.checkReorderElection(epoch); err != nil || !ok {
+				return ok, err
+			}
+		}
 	}
 
 	// I3: failure-driven teardown left exactly the right call state.
@@ -907,6 +943,73 @@ func (r *soakRun) checkElection(epoch int) (bool, error) {
 		r.pend[back] = append(r.pend[back], Event{Step: 0, Kind: Restore, U: leader})
 	}
 	return true, nil
+}
+
+// checkReorderElection verifies invariant I7 on the largest live component:
+// the §4 algorithm still elects exactly one leader owning the whole
+// component when links violate FIFO — randomized hardware delays plus a
+// reorder-only fault profile (loss would be a different invariant; the
+// election assumes reliable-or-declared-down links). The run's recovery
+// counters are accumulated so the soak line shows how often the stale-tree
+// fallbacks actually fired.
+func (r *soakRun) checkReorderElection(epoch int) (bool, error) {
+	live := r.st.Live()
+	comps := live.Components()
+	var comp []core.NodeID
+	for _, c := range comps {
+		if len(c) > len(comp) {
+			comp = c
+		}
+	}
+	if len(comp) < 2 {
+		return true, nil
+	}
+	sub, ids := inducedSubgraph(live, comp)
+	profile := core.MsgFaults{Reorder: r.cfg.Reorder, ReorderWindow: core.Time(r.cfg.reorderWindow())}
+	seed := r.cfg.Seed*1000003 + int64(epoch) + 7
+	var (
+		res election.Result
+		err error
+	)
+	if r.cfg.runtime() == "gosim" {
+		timeout := r.cfg.Timeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		res, err = election.RunAsync(sub, election.AlgoToken, allOf(len(comp)), seed, timeout,
+			gosim.WithMsgFaults(profile))
+	} else {
+		res, err = election.Run(sub, election.AlgoToken, allOf(len(comp)),
+			sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(seed),
+			sim.WithMsgFaults(profile))
+	}
+	if err != nil {
+		r.violate(epoch, 7, "reordered re-election on the largest component (%d nodes): %v", len(comp), err)
+		return false, nil
+	}
+	if res.LeaderDomain != len(comp) {
+		r.violate(epoch, 7, "reordered election: leader %d has domain %d, want the whole component (%d)",
+			ids[res.Leader], res.LeaderDomain, len(comp))
+		return false, nil
+	}
+	if bound := int64(6 * len(comp)); res.AlgorithmMessages > bound {
+		r.violate(epoch, 7, "reordered election used %d algorithm messages, above Theorem 5's bound %d",
+			res.AlgorithmMessages, bound)
+		return false, nil
+	}
+	r.res.ReorderElections++
+	r.res.ReorderRecoveries += res.Stats.Recoveries.Load()
+	return true, nil
+}
+
+// allOf lists node IDs 0..n-1 (starters for the reordered election: every
+// node, maximizing concurrent tours and thus reorder pressure).
+func allOf(n int) []core.NodeID {
+	out := make([]core.NodeID, n)
+	for i := range out {
+		out[i] = core.NodeID(i)
+	}
+	return out
 }
 
 // checkProbes verifies invariant I4 behaviorally: a probe across every down

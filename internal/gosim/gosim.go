@@ -91,10 +91,11 @@ type Network struct {
 	headerBits  atomic.Int64
 	maxHdrHops  atomic.Int64
 	filtered    atomic.Int64
-	faultDrops  atomic.Int64
-	faultDups   atomic.Int64
-	faultCorr   atomic.Int64
-	faultJitter atomic.Int64
+	faultDrops   atomic.Int64
+	faultDups    atomic.Int64
+	faultCorr    atomic.Int64
+	faultJitter  atomic.Int64
+	faultReorder atomic.Int64
 	perNode    []atomic.Int64
 	actSeq     atomic.Int64
 	msgSeq     atomic.Int64
@@ -107,8 +108,9 @@ type item struct {
 	port      core.Port
 	msg       int64
 	isCopy    bool
-	// reorder marks deliveries behind a jitter fault: they are enqueued at
-	// a random inbox position instead of the tail (bounded reordering).
+	// reorder marks deliveries behind a jitter or reorder fault: they are
+	// enqueued at a random inbox position instead of the tail (bounded
+	// reordering).
 	reorder bool
 }
 
@@ -326,6 +328,7 @@ func (net *Network) Metrics() core.Metrics {
 		FaultDups:      net.faultDups.Load(),
 		FaultCorrupts:  net.faultCorr.Load(),
 		FaultJitters:   net.faultJitter.Load(),
+		FaultReorders:  net.faultReorder.Load(),
 	}
 }
 
@@ -449,6 +452,8 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 				net.faultCorr.Add(1)
 			case core.FaultJitter:
 				net.faultJitter.Add(1)
+			case core.FaultReorder:
+				net.faultReorder.Add(1)
 			}
 			if f != core.FaultNone {
 				kind := map[core.MsgFault]trace.Kind{
@@ -456,6 +461,7 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 					core.FaultDup:     trace.KindFaultDup,
 					core.FaultCorrupt: trace.KindFaultCorrupt,
 					core.FaultJitter:  trace.KindFaultJitter,
+					core.FaultReorder: trace.KindFaultReorder,
 				}[f]
 				net.cfg.sink.Record(trace.Event{Kind: kind, Time: act, Node: at, Msg: msg, Cause: f.String()})
 			}

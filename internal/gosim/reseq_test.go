@@ -1,0 +1,66 @@
+package gosim_test
+
+import (
+	"testing"
+	"time"
+
+	"fastnet/internal/core"
+	"fastnet/internal/gosim"
+	"fastnet/internal/graph"
+	"fastnet/internal/reseq"
+	"fastnet/internal/sim"
+)
+
+const streamCount = 30
+
+// TestResequencerGosim is the cross-runtime half of the resequencer's
+// differential contract: the goroutine runtime's real asynchrony plus a
+// reorder fault profile must still yield per-link ledgers byte-identical to
+// a plain FIFO discrete-event run — for every seed, because the ledger
+// outcome is a pure function of the topology once order is restored.
+func TestResequencerGosim(t *testing.T) {
+	g := graph.GNP(14, 0.3, 5)
+	wrapped := reseq.WrapFactory(reseq.StreamFactory(), reseq.Config{Window: 256})
+
+	// Reference: exact-delay FIFO run on the DES runtime.
+	ref := sim.New(g, wrapped, sim.WithDelays(3, 1))
+	for u := 0; u < g.N(); u++ {
+		ref.Inject(0, core.NodeID(u), reseq.Start{Count: streamCount})
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refLines := make([]string, g.N())
+	for u := 0; u < g.N(); u++ {
+		refLines[u] = reseq.StreamOf(ref.Protocol(core.NodeID(u))).LedgerLine()
+	}
+
+	profile := core.MsgFaults{Reorder: 0.3, ReorderWindow: 25}
+	for _, seed := range []int64{1, 7, 42} {
+		net := gosim.New(g, wrapped, gosim.WithSeed(seed), gosim.WithMsgFaults(profile))
+		for u := 0; u < g.N(); u++ {
+			net.Inject(core.NodeID(u), reseq.Start{Count: streamCount})
+		}
+		err := net.AwaitQuiescence(30 * time.Second)
+		m := net.Metrics()
+		if err != nil {
+			net.Shutdown()
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.FaultReorders == 0 {
+			net.Shutdown()
+			t.Fatalf("seed %d: reorder profile never fired", seed)
+		}
+		for u := 0; u < g.N(); u++ {
+			s := reseq.StreamOf(net.Protocol(core.NodeID(u)))
+			if vs := s.Violations(); len(vs) > 0 {
+				t.Errorf("seed %d node %d: order violations through resequencer: %v", seed, u, vs)
+			}
+			if got := s.LedgerLine(); got != refLines[u] {
+				t.Errorf("seed %d node %d ledgers diverge from FIFO reference\n fifo %s\ngosim %s",
+					seed, u, refLines[u], got)
+			}
+		}
+		net.Shutdown()
+	}
+}

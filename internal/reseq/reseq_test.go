@@ -1,0 +1,207 @@
+package reseq_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/reseq"
+	"fastnet/internal/sim"
+)
+
+const streamCount = 40
+
+// reorderProfile is the reordered-channel fault config the differential
+// suite runs under: no loss, heavy FIFO violation.
+func reorderProfile() core.MsgFaults {
+	return core.MsgFaults{Reorder: 0.3, ReorderWindow: 25}
+}
+
+// runStreams drives the stream exerciser on g under opts and returns the
+// per-node ledger lines plus the run's metrics.
+func runStreams(t *testing.T, g *graph.Graph, factory core.Factory, opts ...sim.Option) ([]string, core.Metrics, *sim.Network) {
+	t.Helper()
+	net := sim.New(g, factory, opts...)
+	for u := 0; u < g.N(); u++ {
+		net.Inject(0, core.NodeID(u), reseq.Start{Count: streamCount})
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := make([]string, g.N())
+	for u := 0; u < g.N(); u++ {
+		lines[u] = reseq.StreamOf(net.Protocol(core.NodeID(u))).LedgerLine()
+	}
+	return lines, net.Metrics(), net
+}
+
+// TestReorderBreaksFIFOWithoutResequencer proves the fault dimension is
+// load-bearing: under reorder faults an unwrapped stream observes per-link
+// order violations.
+func TestReorderBreaksFIFOWithoutResequencer(t *testing.T) {
+	g := graph.GNP(16, 0.3, 11)
+	lines, m, net := runStreams(t, g, reseq.StreamFactory(),
+		sim.WithDelays(3, 1), sim.WithRandomDelays(), sim.WithSeed(11),
+		sim.WithMsgFaults(reorderProfile()))
+	_ = lines
+	if m.FaultReorders == 0 {
+		t.Fatalf("reorder profile never fired: %v", m)
+	}
+	violations := 0
+	for u := 0; u < g.N(); u++ {
+		violations += len(reseq.StreamOf(net.Protocol(core.NodeID(u))).Violations())
+	}
+	if violations == 0 {
+		t.Fatalf("expected FIFO violations under reorder faults (reorders=%d)", m.FaultReorders)
+	}
+}
+
+// TestResequencedMatchesFIFO is the differential contract of the sublayer:
+// a wrapped (resequenced) stream under reorder faults + randomized delays
+// produces per-link ledgers byte-identical to the exact-delay FIFO run, and
+// the activation-count metrics agree exactly.
+func TestResequencedMatchesFIFO(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := graph.GNP(16, 0.3, seed)
+		wrapped := reseq.WrapFactory(reseq.StreamFactory(), reseq.Config{Window: 256})
+
+		fifoLines, fifoM, _ := runStreams(t, g, wrapped,
+			sim.WithDelays(3, 1), sim.WithSeed(seed))
+		reordLines, reordM, net := runStreams(t, g, wrapped,
+			sim.WithDelays(3, 1), sim.WithRandomDelays(), sim.WithSeed(seed),
+			sim.WithMsgFaults(reorderProfile()))
+
+		if reordM.FaultReorders == 0 {
+			t.Fatalf("seed %d: reorder profile never fired", seed)
+		}
+		repaired := int64(0)
+		for u := 0; u < g.N(); u++ {
+			nd := net.Protocol(core.NodeID(u)).(*reseq.Node)
+			st := nd.Stats()
+			repaired += st.Released
+			if st.Forced > 0 {
+				t.Errorf("seed %d node %d: forced release under pure reordering: %s", seed, u, st)
+			}
+		}
+		if repaired == 0 {
+			t.Fatalf("seed %d: resequencer never had to repair order (reorders=%d)", seed, reordM.FaultReorders)
+		}
+		for u := range fifoLines {
+			if fifoLines[u] != reordLines[u] {
+				t.Errorf("seed %d node %d ledgers diverge\n fifo %s\nreord %s", seed, u, fifoLines[u], reordLines[u])
+			}
+		}
+		// The activation economy must match too: reordering delays packets
+		// but the resequenced run performs the same sends, hops, and
+		// deliveries as the FIFO run.
+		if fifoM.Sends != reordM.Sends || fifoM.Hops != reordM.Hops ||
+			fifoM.Deliveries != reordM.Deliveries || fifoM.Packets != reordM.Packets {
+			t.Errorf("seed %d metrics diverge\n fifo %s\nreord %s", seed, fifoM, reordM)
+		}
+	}
+}
+
+// fakeEnv is a minimal Env for unit-testing the valves without a runtime.
+type fakeEnv struct {
+	sent []any
+	rng  *rand.Rand
+}
+
+func (e *fakeEnv) ID() core.NodeID                          { return 0 }
+func (e *fakeEnv) Ports() []core.Port                       { return nil }
+func (e *fakeEnv) PortToward(core.NodeID) (core.Port, bool) { return core.Port{}, false }
+func (e *fakeEnv) Send(h anr.Header, pl any) error          { e.sent = append(e.sent, pl); return nil }
+func (e *fakeEnv) Multicast(hs []anr.Header, pl any) error  { e.sent = append(e.sent, pl); return nil }
+func (e *fakeEnv) Now() core.Time                           { return 0 }
+func (e *fakeEnv) Rand() *rand.Rand                         { return e.rng }
+
+// sink records the delivery order the inner protocol saw.
+type sink struct{ got []int }
+
+func (s *sink) Init(core.Env)                 {}
+func (s *sink) LinkEvent(core.Env, core.Port) {}
+func (s *sink) RequiresFIFO() bool            { return true }
+func (s *sink) Deliver(_ core.Env, p core.Packet) {
+	s.got = append(s.got, p.Payload.(int))
+}
+
+func frame(seq uint64) core.Packet {
+	return core.Packet{Payload: &reseq.Frame{Seq: seq, Payload: int(seq)}, ArrivedOn: 1}
+}
+
+func TestResequenceAndStale(t *testing.T) {
+	inner := &sink{}
+	nd := reseq.Wrap(inner, reseq.Config{})
+	env := &fakeEnv{rng: rand.New(rand.NewSource(1))}
+	nd.Deliver(env, frame(2))
+	nd.Deliver(env, frame(3))
+	if len(inner.got) != 0 {
+		t.Fatalf("early frames leaked: %v", inner.got)
+	}
+	nd.Deliver(env, frame(1))
+	if want := []int{1, 2, 3}; len(inner.got) != 3 || inner.got[0] != 1 || inner.got[1] != 2 || inner.got[2] != 3 {
+		t.Fatalf("resequenced order = %v, want %v", inner.got, want)
+	}
+	nd.Deliver(env, frame(2)) // duplicate / late
+	st := nd.Stats()
+	if st.Stale != 1 || st.Released != 2 || st.InOrder != 1 || st.Buffered != 2 {
+		t.Fatalf("stats = %s", st)
+	}
+}
+
+func TestOverflowValve(t *testing.T) {
+	inner := &sink{}
+	nd := reseq.Wrap(inner, reseq.Config{Window: 2})
+	env := &fakeEnv{rng: rand.New(rand.NewSource(1))}
+	// Seq 1 never arrives; the third buffered frame trips the valve.
+	nd.Deliver(env, frame(2))
+	nd.Deliver(env, frame(3))
+	nd.Deliver(env, frame(4))
+	if len(inner.got) != 3 || inner.got[0] != 2 || inner.got[2] != 4 {
+		t.Fatalf("forced release delivered %v, want [2 3 4]", inner.got)
+	}
+	nd.Deliver(env, frame(1)) // the abandoned gap arrives late
+	st := nd.Stats()
+	if st.Forced != 1 || st.Stale != 1 {
+		t.Fatalf("stats = %s", st)
+	}
+	if len(inner.got) != 3 {
+		t.Fatalf("stale frame leaked: %v", inner.got)
+	}
+}
+
+func TestAgeValve(t *testing.T) {
+	inner := &sink{}
+	nd := reseq.Wrap(inner, reseq.Config{HoldTicks: 2})
+	env := &fakeEnv{rng: rand.New(rand.NewSource(1))}
+	nd.Deliver(env, frame(5))
+	for i := 0; i < 3; i++ {
+		nd.Deliver(env, core.Packet{Payload: reseq.Tick{}})
+	}
+	if len(inner.got) != 1 || inner.got[0] != 5 {
+		t.Fatalf("age valve delivered %v, want [5]", inner.got)
+	}
+	if st := nd.Stats(); st.Forced != 1 {
+		t.Fatalf("stats = %s", st)
+	}
+}
+
+// TestWrapFactory checks capability detection: only protocols declaring
+// core.FIFORequirer come out wrapped.
+func TestWrapFactory(t *testing.T) {
+	plain := func(core.NodeID) core.Protocol { return &plainProto{} }
+	if _, ok := reseq.WrapFactory(reseq.StreamFactory(), reseq.Config{})(0).(*reseq.Node); !ok {
+		t.Fatal("FIFO-requiring protocol not wrapped")
+	}
+	if _, ok := reseq.WrapFactory(plain, reseq.Config{})(0).(*reseq.Node); ok {
+		t.Fatal("non-declaring protocol wrapped")
+	}
+}
+
+type plainProto struct{}
+
+func (p *plainProto) Init(core.Env)                 {}
+func (p *plainProto) Deliver(core.Env, core.Packet) {}
+func (p *plainProto) LinkEvent(core.Env, core.Port) {}

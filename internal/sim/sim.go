@@ -835,6 +835,13 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 				net.metrics.FaultJitters++
 				extraDelay = net.cfg.faults.JitterDelay(net.faultRng)
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultJitter, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultJitter.String()})
+			case core.FaultReorder:
+				// A reorder fault holds the packet back on the wire: the
+				// extra delay lets traffic sent later on the same link
+				// overtake it, which is what breaks the FIFO discipline.
+				net.metrics.FaultReorders++
+				extraDelay = net.cfg.faults.ReorderDelay(net.faultRng)
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultReorder, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultReorder.String()})
 			}
 		}
 		net.metrics.Hops++

@@ -16,7 +16,7 @@ type Kind int
 // routes records k sends sharing one activation). The KindFault* kinds are
 // emitted by the lossy-link model (core.MsgFaults): the event's Node is the
 // switching subsystem whose outgoing traversal was perturbed, and Cause
-// carries the fault tag ("drop", "dup", "corrupt", "jitter").
+// carries the fault tag ("drop", "dup", "corrupt", "jitter", "reorder").
 const (
 	KindSend Kind = iota + 1
 	KindDeliver
@@ -27,6 +27,7 @@ const (
 	KindFaultDup
 	KindFaultCorrupt
 	KindFaultJitter
+	KindFaultReorder
 )
 
 // Event is one runtime occurrence. Act identifies the NCU activation in
