@@ -18,6 +18,8 @@ import (
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
 	"fastnet/internal/paths"
+	"fastnet/internal/reliable"
+	"fastnet/internal/sim"
 	"fastnet/internal/topology"
 )
 
@@ -97,6 +99,20 @@ func BenchmarkE22Reorder(b *testing.B) {
 		return
 	}
 	benchSpec(b, "E22")
+}
+
+// E23 is an 80-run RTO sweep; short mode benchmarks one gray soak point
+// (slowdown + stall, invariant I8 included) instead.
+func BenchmarkE23Gray(b *testing.B) {
+	if testing.Short() {
+		benchSoak(b, faults.Config{
+			Seed: 1, Epochs: 2, Mode: topology.ModeFlood,
+			Flaps: 1, Crashes: 1, Downtime: 2,
+			Reliable: 4, Slow: 0.2, Stall: 1,
+		})
+		return
+	}
+	benchSpec(b, "E23")
 }
 
 // benchSoak runs one soak config per iteration on E20/E21's fabric.
@@ -207,6 +223,94 @@ func BenchmarkElection1024(b *testing.B) {
 		}
 		if res.AlgorithmMessages > 6*1024 {
 			b.Fatal("6n bound violated")
+		}
+	}
+}
+
+// BenchmarkReliableAdaptive mirrors the bench artifact's ReliableAdaptive
+// row: 64 frames through the Jacobson/Karn estimator on a two-node fabric.
+func BenchmarkReliableAdaptive(b *testing.B) {
+	const msgs = 64
+	g := graph.Path(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sender *reliable.Node
+		net := sim.New(g, func(id core.NodeID) core.Protocol {
+			nd := reliable.NewNode(id, reliable.Config{RTO: 4, MaxBackoff: 64, Adaptive: true, MinRTO: 2, MaxRTO: 64})
+			if id == 0 {
+				sender = nd
+				return &relBenchNode{Node: nd}
+			}
+			return nd
+		}, sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(1))
+		horizon := core.Time(msgs*8 + 400)
+		for k := 0; k < msgs; k++ {
+			net.Inject(core.Time(k*8), 0, relBenchSend{})
+		}
+		for t := core.Time(4); t <= horizon; t += 4 {
+			net.Inject(t, 0, reliable.Tick{})
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if got := sender.E.Stats().Acked; got != msgs {
+			b.Fatalf("acked %d of %d", got, msgs)
+		}
+	}
+}
+
+// relBenchSend commands the bench sender to open one reliable frame.
+type relBenchSend struct{}
+
+// relBenchNode drives an adaptive reliable endpoint toward its neighbor.
+type relBenchNode struct {
+	*reliable.Node
+}
+
+func (p *relBenchNode) Deliver(env core.Env, pkt core.Packet) {
+	if _, ok := pkt.Payload.(relBenchSend); ok {
+		pt, ok := env.PortToward(1)
+		if !ok {
+			return
+		}
+		_ = p.E.SendRoute(env, 1, anr.Direct([]anr.ID{pt.Local}), pkt.Payload)
+		return
+	}
+	p.Node.Deliver(env, pkt)
+}
+
+// BenchmarkDetectorPhi mirrors the bench artifact's DetectorPhi row: 64
+// probe periods of the phi-accrual detector against a live leader.
+func BenchmarkDetectorPhi(b *testing.B) {
+	const (
+		beats  = 64
+		period = 16
+	)
+	g := graph.Path(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dets := make([]*election.Detector, 2)
+		net := sim.New(g, func(id core.NodeID) core.Protocol {
+			dets[id] = election.NewAdaptiveDetector(id, 3)
+			return &election.DetectorNode{D: dets[id]}
+		}, sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(1))
+		links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dets[0].SetLeader(1, anr.Direct(links))
+		dets[1].SetLeader(1, nil)
+		for k := 1; k <= beats; k++ {
+			net.Inject(core.Time(k*period), 0, election.BeatTick{})
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st := dets[0].Stats()
+		if st.Suspected || st.Probes == 0 || st.LastAckTick == 0 {
+			b.Fatalf("detector state wrong: %s", st)
 		}
 	}
 }

@@ -10,11 +10,14 @@ import (
 	"testing"
 	"time"
 
+	"fastnet/internal/anr"
 	"fastnet/internal/core"
 	"fastnet/internal/election"
 	"fastnet/internal/experiments"
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
+	"fastnet/internal/reliable"
+	"fastnet/internal/sim"
 	"fastnet/internal/topology"
 )
 
@@ -303,7 +306,13 @@ func benchMicro() ([]benchRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(rows, routingRows...), nil
+	rows = append(rows, routingRows...)
+
+	grayRows, err := benchGray()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, grayRows...), nil
 }
 
 // benchGosim measures the goroutine runtime end to end: build a 1024-node
@@ -388,6 +397,120 @@ func benchRouting() ([]benchRow, error) {
 				src := core.NodeID(i * 31 % 256)
 				dst := core.NodeID((i*97 + 13) % 256)
 				if _, err := db.Route(src, dst); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, benchErr)
+		}
+		rows = append(rows, newRow(spec.name, r, 0))
+	}
+	return rows, nil
+}
+
+// relBenchSend commands the bench sender to open one reliable frame.
+type relBenchSend struct{}
+
+// relBenchNode drives an adaptive reliable endpoint toward its neighbor.
+type relBenchNode struct {
+	*reliable.Node
+}
+
+func (p *relBenchNode) Deliver(env core.Env, pkt core.Packet) {
+	if _, ok := pkt.Payload.(relBenchSend); ok {
+		pt, ok := env.PortToward(1)
+		if !ok {
+			return
+		}
+		_ = p.E.SendRoute(env, 1, anr.Direct([]anr.ID{pt.Local}), pkt.Payload)
+		return
+	}
+	p.Node.Deliver(env, pkt)
+}
+
+// runReliableAdaptive is one ReliableAdaptive iteration: 64 frames through
+// the Jacobson/Karn estimator on a two-node fabric, all acked.
+func runReliableAdaptive() error {
+	const msgs = 64
+	g := graph.Path(2)
+	var sender *reliable.Node
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		nd := reliable.NewNode(id, reliable.Config{RTO: 4, MaxBackoff: 64, Adaptive: true, MinRTO: 2, MaxRTO: 64})
+		if id == 0 {
+			sender = nd
+			return &relBenchNode{Node: nd}
+		}
+		return nd
+	}, sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(1))
+	horizon := core.Time(msgs*8 + 400)
+	for i := 0; i < msgs; i++ {
+		net.Inject(core.Time(i*8), 0, relBenchSend{})
+	}
+	for t := core.Time(4); t <= horizon; t += 4 {
+		net.Inject(t, 0, reliable.Tick{})
+	}
+	if _, err := net.Run(); err != nil {
+		return err
+	}
+	if got := sender.E.Stats().Acked; got != msgs {
+		return fmt.Errorf("acked %d of %d", got, msgs)
+	}
+	return nil
+}
+
+// runDetectorPhi is one DetectorPhi iteration: 64 probe periods of the
+// phi-accrual detector against a live leader, no suspicion raised.
+func runDetectorPhi() error {
+	const (
+		beats  = 64
+		period = 16
+	)
+	g := graph.Path(2)
+	dets := make([]*election.Detector, 2)
+	net := sim.New(g, func(id core.NodeID) core.Protocol {
+		dets[id] = election.NewAdaptiveDetector(id, 3)
+		return &election.DetectorNode{D: dets[id]}
+	}, sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(1))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		return err
+	}
+	dets[0].SetLeader(1, anr.Direct(links))
+	dets[1].SetLeader(1, nil)
+	for i := 1; i <= beats; i++ {
+		net.Inject(core.Time(i*period), 0, election.BeatTick{})
+	}
+	if _, err := net.Run(); err != nil {
+		return err
+	}
+	st := dets[0].Stats()
+	if st.Suspected || st.Probes == 0 || st.LastAckTick == 0 {
+		return fmt.Errorf("detector state wrong: %s", st)
+	}
+	return nil
+}
+
+// benchGray measures the gray-failure hot paths added with invariant I8: the
+// adaptive (Jacobson/Karn) reliable endpoint and the phi-accrual failure
+// detector. Mirrors bench_test.go's BenchmarkReliableAdaptive and
+// BenchmarkDetectorPhi.
+func benchGray() ([]benchRow, error) {
+	var rows []benchRow
+	for _, spec := range []struct {
+		name string
+		run  func() error
+	}{
+		{"ReliableAdaptive", runReliableAdaptive},
+		{"DetectorPhi", runDetectorPhi},
+	} {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.name)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := spec.run(); err != nil {
 					benchErr = err
 					b.FailNow()
 				}

@@ -285,6 +285,11 @@ func runSoak(args []string) error {
 		jitterMax   = fs.Int("jittermax", 0, "max extra per-hop delay (default 4)")
 		reorder     = fs.Float64("reorder", 0, "per-traversal reorder probability (arms invariant I7)")
 		reorderWin  = fs.Int("reorder-window", 0, "max reorder displacement in ticks (default 8)")
+		slow        = fs.Float64("slow", 0, "per-traversal gray-slowdown probability (arms invariant I8)")
+		slowFactor  = fs.Float64("slow-factor", 0, "slowdown multiplier on the per-hop delay (default 4)")
+		slowMax     = fs.Int("slow-max", 0, "max additive slowdown in ticks (default 8)")
+		stall       = fs.Int("stall", 0, "NCU-stall windows per epoch (arms invariant I8)")
+		stallTicks  = fs.Int("stall-ticks", 0, "stall window length in ticks (default 8)")
 		reliableN   = fs.Int("reliable", 0, "reliable ledger messages per epoch (invariant I6)")
 		burstEvery  = fs.Int("burst-every", 0, "scale the fault profile up every k-th epoch (0 = off)")
 		burstScale  = fs.Float64("burst-scale", 0, "burst multiplier (default 2)")
@@ -334,6 +339,11 @@ func runSoak(args []string) error {
 		JitterMax:      *jitterMax,
 		Reorder:        *reorder,
 		ReorderWindow:  *reorderWin,
+		Slow:           *slow,
+		SlowFactor:     *slowFactor,
+		SlowMax:        *slowMax,
+		Stall:          *stall,
+		StallTicks:     *stallTicks,
 		BurstEvery:     *burstEvery,
 		BurstScale:     *burstScale,
 		Reliable:       *reliableN,
@@ -367,6 +377,9 @@ func runSoak(args []string) error {
 			if *verbose && res.Sched.Events > 0 {
 				fmt.Printf("seed %d sched: %s\n", seeds[i], res.Sched)
 			}
+			if *verbose && res.Det.Probes > 0 {
+				fmt.Printf("seed %d detector: %s\n", seeds[i], res.Det)
+			}
 			if !res.OK() {
 				bad++
 				for _, v := range res.Violations {
@@ -395,6 +408,9 @@ func runSoak(args []string) error {
 	fmt.Println(res.Line())
 	if *verbose && res.Sched.Events > 0 {
 		fmt.Println("sched:", res.Sched)
+	}
+	if *verbose && res.Det.Probes > 0 {
+		fmt.Println("detector:", res.Det)
 	}
 	if err := stopProf(); err != nil {
 		return err

@@ -97,6 +97,71 @@ func TestSoakLossyCLIPasses(t *testing.T) {
 	}
 }
 
+// TestSoakGrayCLIRoundTrip: the gray-failure flags must survive the
+// violation → repro → replay loop — a failing soak armed with -slow/-stall
+// renders them into the one-line repro, and replaying that line reproduces
+// the identical violation.
+func TestSoakGrayCLIRoundTrip(t *testing.T) {
+	// -max-rounds 1 on a churned ring cannot converge (the same
+	// deterministic I1 violation the plain round-trip test uses), with the
+	// gray dimensions armed on top.
+	out, code := reexec(t, "soak", "-topo", "ring", "-n", "16", "-seed", "1",
+		"-epochs", "2", "-flaps", "3", "-partition-every", "0", "-crashes", "0",
+		"-calls", "0", "-leader-crash", "0", "-no-election", "-max-rounds", "1",
+		"-reliable", "2", "-slow", "0.2", "-slow-factor", "3", "-slow-max", "6",
+		"-stall", "1", "-stall-ticks", "5")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	var repro string
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "repro: fastnet "); ok {
+			repro = rest
+			break
+		}
+	}
+	if repro == "" {
+		t.Fatalf("output misses the one-line repro:\n%s", out)
+	}
+	for _, want := range []string{"-slow 0.2", "-slow-factor 3", "-slow-max 6", "-stall 1", "-stall-ticks 5"} {
+		if !strings.Contains(repro, want) {
+			t.Fatalf("repro %q dropped the gray flag %q", repro, want)
+		}
+	}
+	out2, code2 := reexec(t, strings.Fields(repro)...)
+	if code2 != 1 {
+		t.Fatalf("repro exit code = %d, want 1\n%s", code2, out2)
+	}
+	want := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "violation:") {
+			want = line
+			break
+		}
+	}
+	if want == "" || !strings.Contains(out2, want) {
+		t.Fatalf("repro run did not reproduce %q:\n%s", want, out2)
+	}
+}
+
+// TestSoakGrayVerboseCLI: a clean gray soak exits 0, reports the gray block
+// on the result line, and -v prints the worst detector snapshot next to the
+// scheduler stats.
+func TestSoakGrayVerboseCLI(t *testing.T) {
+	out, code := reexec(t, "soak", "-topo", "gnp", "-n", "16", "-seed", "2",
+		"-epochs", "2", "-flaps", "1", "-partition-every", "0", "-crashes", "1",
+		"-calls", "1", "-reliable", "4", "-slow", "0.2", "-stall", "1", "-v")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "gray(elections=") {
+		t.Fatalf("result line misses the gray block:\n%s", out)
+	}
+	if !strings.Contains(out, "detector: leader=") {
+		t.Fatalf("-v output misses the detector snapshot:\n%s", out)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
 		t.Fatal(err)

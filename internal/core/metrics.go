@@ -52,6 +52,13 @@ type Metrics struct {
 	// FaultReorders counts link traversals whose packet was held back past
 	// later traffic on the same link (the FIFO-violation fault).
 	FaultReorders int64
+	// FaultSlowdowns counts link traversals that crossed a link in a
+	// degraded (gray) state — delivered intact, just late.
+	FaultSlowdowns int64
+	// StallTicks accumulates the extra software delay attributable to NCU
+	// stalls: virtual-time units on the discrete-event runtime, stalled
+	// activations on the goroutine runtime (which has no delay model).
+	StallTicks int64
 	// FinishTime is the virtual time of the last NCU activation
 	// (discrete-event runtime only; 0 in the goroutine runtime).
 	FinishTime Time
@@ -69,15 +76,21 @@ func (m Metrics) Syscalls() int64 {
 func (m Metrics) String() string {
 	s := fmt.Sprintf("hops=%d deliveries=%d (copies=%d) injections=%d linkEvents=%d sends=%d packets=%d drops=%d time=%d",
 		m.Hops, m.Deliveries, m.CopyDeliveries, m.Injections, m.LinkEvents, m.Sends, m.Packets, m.Drops, m.FinishTime)
-	if m.FaultDrops+m.FaultDups+m.FaultCorrupts+m.FaultJitters+m.FaultReorders > 0 {
+	if m.FaultDrops+m.FaultDups+m.FaultCorrupts+m.FaultJitters+m.FaultReorders+m.FaultSlowdowns > 0 {
 		s += fmt.Sprintf(" faults(drop=%d dup=%d corrupt=%d jitter=%d",
 			m.FaultDrops, m.FaultDups, m.FaultCorrupts, m.FaultJitters)
-		// Reorder is rendered only when it fired, keeping pre-reorder fault
-		// tables byte-identical.
+		// Reorder and slowdown are rendered only when they fired, keeping
+		// earlier fault tables byte-identical.
 		if m.FaultReorders > 0 {
 			s += fmt.Sprintf(" reorder=%d", m.FaultReorders)
 		}
+		if m.FaultSlowdowns > 0 {
+			s += fmt.Sprintf(" slow=%d", m.FaultSlowdowns)
+		}
 		s += ")"
+	}
+	if m.StallTicks > 0 {
+		s += fmt.Sprintf(" stallTicks=%d", m.StallTicks)
 	}
 	return s
 }
@@ -100,6 +113,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.FaultCorrupts += other.FaultCorrupts
 	m.FaultJitters += other.FaultJitters
 	m.FaultReorders += other.FaultReorders
+	m.FaultSlowdowns += other.FaultSlowdowns
+	m.StallTicks += other.StallTicks
 	if other.MaxHeaderHops > m.MaxHeaderHops {
 		m.MaxHeaderHops = other.MaxHeaderHops
 	}

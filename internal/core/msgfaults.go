@@ -46,11 +46,25 @@ type MsgFaults struct {
 	Reorder float64
 	// ReorderWindow bounds how far a reordered packet can lag; 0 means 1.
 	ReorderWindow Time
+	// Slowdown is the probability a traversal crosses the link while it is
+	// in a degraded ("gray") state: the link neither fails nor reorders, it
+	// just takes longer. On the discrete-event runtime the hop's hardware
+	// delay is inflated by (SlowFactor-1)× the configured per-hop delay plus
+	// an additive draw from [1, SlowMax]; the goroutine runtime, which has
+	// no delay model, marks the delivery reordered (a late packet can be
+	// overtaken). Distinct from Jitter so degradation-aware timers can be
+	// measured against transient noise separately from sustained slowness.
+	Slowdown float64
+	// SlowFactor multiplies the configured per-hop hardware delay of a
+	// slowed traversal; values <= 1 contribute no multiplicative term.
+	SlowFactor float64
+	// SlowMax bounds the additive inflation of a slowed traversal; 0 means 1.
+	SlowMax Time
 }
 
 // Enabled reports whether any perturbation is configured.
 func (f MsgFaults) Enabled() bool {
-	return f.Drop > 0 || f.Dup > 0 || f.Corrupt > 0 || f.Jitter > 0 || f.Reorder > 0
+	return f.Drop > 0 || f.Dup > 0 || f.Corrupt > 0 || f.Jitter > 0 || f.Reorder > 0 || f.Slowdown > 0
 }
 
 // Scale returns a copy of f with every probability multiplied by k (capped
@@ -62,17 +76,21 @@ func (f MsgFaults) Scale(k float64) MsgFaults {
 	s.Corrupt = min(1, f.Corrupt*k)
 	s.Jitter = min(1, f.Jitter*k)
 	s.Reorder = min(1, f.Reorder*k)
+	s.Slowdown = min(1, f.Slowdown*k)
 	return s
 }
 
-// String renders the profile for repro lines. The reorder dimension is
-// appended only when configured, so profiles predating it keep their
-// historical byte-identical rendering.
+// String renders the profile for repro lines. The reorder and slowdown
+// dimensions are appended only when configured, so profiles predating them
+// keep their historical byte-identical rendering.
 func (f MsgFaults) String() string {
 	s := fmt.Sprintf("drop=%g dup=%g corrupt=%g jitter=%g/%d",
 		f.Drop, f.Dup, f.Corrupt, f.Jitter, f.JitterMax)
 	if f.Reorder > 0 {
 		s += fmt.Sprintf(" reorder=%g/%d", f.Reorder, f.ReorderWindow)
+	}
+	if f.Slowdown > 0 {
+		s += fmt.Sprintf(" slow=%g/%g/%d", f.Slowdown, f.SlowFactor, f.SlowMax)
 	}
 	return s
 }
@@ -88,6 +106,7 @@ const (
 	FaultCorrupt
 	FaultJitter
 	FaultReorder
+	FaultSlowdown
 )
 
 // String names the fault for trace cause tags.
@@ -105,6 +124,8 @@ func (k MsgFault) String() string {
 		return "jitter"
 	case FaultReorder:
 		return "reorder"
+	case FaultSlowdown:
+		return "slow"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -131,6 +152,10 @@ func (f MsgFaults) Roll(r *rand.Rand) MsgFault {
 		return FaultJitter
 	case u < f.Drop+f.Dup+f.Corrupt+f.Jitter+f.Reorder:
 		return FaultReorder
+	// The slowdown term is appended after reorder so gray-free profiles
+	// partition the draw exactly as before this dimension existed.
+	case u < f.Drop+f.Dup+f.Corrupt+f.Jitter+f.Reorder+f.Slowdown:
+		return FaultSlowdown
 	default:
 		return FaultNone
 	}
@@ -150,6 +175,22 @@ func (f MsgFaults) ReorderDelay(r *rand.Rand) Time {
 		return 1
 	}
 	return 1 + Time(r.Int63n(int64(f.ReorderWindow)))
+}
+
+// SlowdownDelay draws the extra hardware delay of one slowdown fault over a
+// link whose configured per-hop delay is c: (SlowFactor-1)×c models the
+// degraded transmission rate, the additive draw from [1, SlowMax] models
+// queueing inside the gray switch. Always at least 1 so a slowdown is never
+// invisible (and breaks out of fused zero-delay chains).
+func (f MsgFaults) SlowdownDelay(r *rand.Rand, c Time) Time {
+	extra := Time(1)
+	if f.SlowFactor > 1 {
+		extra += Time(float64(c) * (f.SlowFactor - 1))
+	}
+	if f.SlowMax > 1 {
+		extra += Time(r.Int63n(int64(f.SlowMax)))
+	}
+	return extra
 }
 
 // Corruptible lets a payload type opt into realistic corruption: the fault

@@ -263,6 +263,11 @@ func WalkRouteFaults(pm *PortMap, up LinkStateFunc, filter HopFilter, roll Fault
 			case FaultReorder:
 				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultReorder, At: cur})
 				reordered = true
+			case FaultSlowdown:
+				// No delay model here: a slowed packet is simply one that
+				// later traffic may overtake, so it is delivered reordered.
+				tr.Faults = append(tr.Faults, TraversalFault{Kind: FaultSlowdown, At: cur})
+				reordered = true
 			}
 			tr.Hops++
 			hops++

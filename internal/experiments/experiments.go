@@ -138,6 +138,7 @@ func All() []Spec {
 		{ID: "E20", Title: "Extension: degradation under churn — convergence, syscalls, re-election latency", Run: E20Degradation},
 		{ID: "E21", Title: "Extension: reliable delivery on lossy links — ARQ overhead and convergence vs loss", Run: E21Reliability},
 		{ID: "E22", Title: "Extension: election under non-FIFO links — 6n holds while recovery absorbs reordering", Run: E22Reorder},
+		{ID: "E23", Title: "Extension: gray links — spurious retransmits under fixed vs adaptive RTO", Run: E23Gray},
 	}
 	sort.Slice(specs, func(i, j int) bool { return idOrder(specs[i].ID) < idOrder(specs[j].ID) })
 	return specs

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -8,8 +9,8 @@ import (
 
 func TestAllSpecsListed(t *testing.T) {
 	specs := All()
-	if len(specs) != 22 {
-		t.Fatalf("%d specs, want 22", len(specs))
+	if len(specs) != 23 {
+		t.Fatalf("%d specs, want 23", len(specs))
 	}
 	for i, s := range specs {
 		want := "E" + strconv.Itoa(i+1)
@@ -110,3 +111,44 @@ func TestExperimentAssertions(t *testing.T) {
 		t.Fatalf("branching/flooding must converge, got %v", got)
 	}
 }
+
+// TestE23AdaptiveBeatsFixed pins E23's qualitative claim: on a gray fabric
+// (slowdown, zero loss) the adaptive RTO must cut spurious retransmissions by
+// at least 2x against the fixed sender at every nonzero slowdown rate, and
+// neither sender may leave a frame unacked — gray links degrade, they never
+// lose.
+func TestE23AdaptiveBeatsFixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E23 sweep skipped in -short mode")
+	}
+	tbl, err := E23Gray()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rowStat struct{ spurious, unacked int64 }
+	stats := map[string]rowStat{}
+	for _, row := range tbl.Rows {
+		key := row[0] + "/" + fmtCell(row[1])
+		sp, _ := strconv.ParseInt(fmtCell(row[4]), 10, 64)
+		un, _ := strconv.ParseInt(fmtCell(row[7]), 10, 64)
+		stats[key] = rowStat{sp, un}
+	}
+	for key, st := range stats {
+		if st.unacked != 0 {
+			t.Errorf("%s: %d frames left unacked on a loss-free fabric", key, st.unacked)
+		}
+	}
+	for _, rate := range []string{"0.2", "0.4", "0.6"} {
+		fixed, adaptive := stats["fixed/"+rate], stats["adaptive/"+rate]
+		if fixed.spurious == 0 {
+			t.Errorf("slow=%s: fixed sender produced no spurious retransmits; scenario too tame", rate)
+			continue
+		}
+		if adaptive.spurious*2 > fixed.spurious {
+			t.Errorf("slow=%s: adaptive %d spurious vs fixed %d — less than the 2x reduction the gray story claims",
+				rate, adaptive.spurious, fixed.spurious)
+		}
+	}
+}
+
+func fmtCell(v any) string { return strings.TrimSpace(fmt.Sprint(v)) }

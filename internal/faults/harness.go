@@ -31,6 +31,11 @@ type Harness interface {
 	// SetMsgFaults swaps the lossy-link profile for all traffic sent after
 	// the call (the soak toggles it per phase). Both runtimes expose it.
 	SetMsgFaults(f core.MsgFaults)
+	// StallNode opens an NCU-stall window at v (gray failure: slow, not
+	// dead): the discrete-event runtime inflates every activation's software
+	// delay by extra for the next window time units; the goroutine runtime
+	// deschedules each of the next window activations extra times.
+	StallNode(v core.NodeID, window, extra core.Time)
 	// Metrics snapshots the system-call accounting.
 	Metrics() core.Metrics
 	// Close releases runtime resources (goroutines on gosim; no-op on sim).

@@ -58,6 +58,19 @@ type Config struct {
 	Reorder       float64
 	ReorderWindow int // max hold-back delay in time units (default 8)
 
+	// Gray-failure profile. Slow joins the fabric as the per-traversal
+	// slowdown probability (core.MsgFaults.Slowdown); Stall injects seeded
+	// NCU-stall windows into the fabric each epoch. A nonzero value in
+	// either arms invariant I8: an adaptive (phi-accrual) failure detector
+	// watching a live-but-slowed/stalled leader must raise zero suspicions,
+	// and the election must still complete within the I7 bound with
+	// slowdown in the profile.
+	Slow       float64 // per-traversal gray-link slowdown probability
+	SlowFactor float64 // hardware-delay multiplier of a slowed hop (default 4)
+	SlowMax    int     // max additive inflation in time units (default 8)
+	Stall      int     // NCU stalls injected per epoch
+	StallTicks int     // stall window length (default 8)
+
 	// BurstEvery > 0 scales the profile by BurstScale every BurstEvery-th
 	// epoch (loss comes in storms, not as a stationary rate).
 	BurstEvery int
@@ -91,9 +104,15 @@ func (cfg Config) Repro(topo string, n int) string {
 		if cfg.Reorder > 0 {
 			fmt.Fprintf(&b, " -reorder %g -reorder-window %d", cfg.Reorder, cfg.reorderWindow())
 		}
+		if cfg.Slow > 0 {
+			fmt.Fprintf(&b, " -slow %g -slow-factor %g -slow-max %d", cfg.Slow, cfg.slowFactor(), cfg.slowMax())
+		}
 		if cfg.BurstEvery > 0 {
 			fmt.Fprintf(&b, " -burst-every %d -burst-scale %g", cfg.BurstEvery, cfg.burstScale())
 		}
+	}
+	if cfg.Stall > 0 {
+		fmt.Fprintf(&b, " -stall %d -stall-ticks %d", cfg.Stall, cfg.stallTicks())
 	}
 	if cfg.MaxRounds > 0 {
 		fmt.Fprintf(&b, " -max-rounds %d", cfg.MaxRounds)
@@ -107,13 +126,21 @@ func (cfg Config) Repro(topo string, n int) string {
 	return b.String()
 }
 
-// msgFaults renders the configured base lossy-link profile.
+// msgFaults renders the configured base lossy-link profile. Gray fields are
+// populated only when Slow is set, so gray-free configs build a profile
+// byte-identical to what they built before the slowdown dimension existed.
 func (cfg Config) msgFaults() core.MsgFaults {
-	return core.MsgFaults{
+	f := core.MsgFaults{
 		Drop: cfg.Loss, Dup: cfg.Dup, Corrupt: cfg.Corrupt,
 		Jitter: cfg.Jitter, JitterMax: core.Time(cfg.jitterMax()),
 		Reorder: cfg.Reorder, ReorderWindow: core.Time(cfg.reorderWindow()),
 	}
+	if cfg.Slow > 0 {
+		f.Slowdown = cfg.Slow
+		f.SlowFactor = cfg.slowFactor()
+		f.SlowMax = core.Time(cfg.slowMax())
+	}
+	return f
 }
 
 // lossy reports whether any message-fault phase is configured.
@@ -132,6 +159,30 @@ func (cfg Config) reorderWindow() int {
 	}
 	return cfg.ReorderWindow
 }
+
+func (cfg Config) slowFactor() float64 {
+	if cfg.SlowFactor <= 0 {
+		return 4
+	}
+	return cfg.SlowFactor
+}
+
+func (cfg Config) slowMax() int {
+	if cfg.SlowMax <= 0 {
+		return 8
+	}
+	return cfg.SlowMax
+}
+
+func (cfg Config) stallTicks() int {
+	if cfg.StallTicks <= 0 {
+		return 8
+	}
+	return cfg.StallTicks
+}
+
+// gray reports whether any gray-failure dimension is configured (arms I8).
+func (cfg Config) gray() bool { return cfg.Slow > 0 || cfg.Stall > 0 }
 
 func (cfg Config) burstScale() float64 {
 	if cfg.BurstScale <= 0 {
@@ -190,6 +241,20 @@ type Result struct {
 	ReorderElections  int
 	ReorderRecoveries int64
 
+	// Gray-failure totals (I8); all zero unless Config.Slow or Config.Stall
+	// is set. GraySuspects counts false suspicions raised by the adaptive
+	// detector against a live-but-gray leader — any nonzero count is an I8
+	// violation, so a passing run always reports suspects=0 (the counter
+	// exists so a failing line shows how many detectors were fooled).
+	GrayElections int
+	GrayStalls    int
+	GraySuspects  int
+
+	// Det snapshots the worst-case (highest-phi) adaptive detector observed
+	// across the I8 scenarios, leader rewritten to the soak graph's node ID.
+	// Measurement only, like Sched: not part of Line(), printed by soak -v.
+	Det election.DetectorStats
+
 	// Sched snapshots the discrete-event scheduler's observability counters
 	// (zero on the goroutine runtime). Measurement only — deliberately not
 	// part of Line(), whose byte-identity contract is over simulation
@@ -212,6 +277,10 @@ func (r *Result) Line() string {
 	if r.ReorderElections > 0 {
 		rel += fmt.Sprintf(" reorder(elections=%d recoveries=%d)",
 			r.ReorderElections, r.ReorderRecoveries)
+	}
+	if r.GrayElections > 0 || r.GrayStalls > 0 {
+		rel += fmt.Sprintf(" gray(elections=%d stalls=%d suspects=%d)",
+			r.GrayElections, r.GrayStalls, r.GraySuspects)
 	}
 	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d)%s | %s",
 		r.Epochs, len(r.Violations), r.FaultFlips, r.ConvRounds, r.ConvMax,
@@ -347,6 +416,7 @@ type soakRun struct {
 	res   *Result
 
 	pend    map[int][]Event // soak-scheduled events (leader crashes)
+	stalls  Stalls          // zero-valued unless cfg.Stall > 0
 	callSeq calls.CallID
 	probeID int64
 	relSeq  uint64
@@ -387,6 +457,9 @@ func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 	}
 	if cfg.Adversary {
 		r.gens = append(r.gens, &Adversary{Witness: r.wit})
+	}
+	if cfg.Stall > 0 {
+		r.stalls = Stalls{PerEpoch: cfg.Stall, Window: core.Time(cfg.stallTicks())}
 	}
 
 	// View-routed modes run the full-knowledge variant: the incremental one
@@ -565,6 +638,17 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 			e.U, e.V, r.st.EdgeDown(e.U, e.V), r.h.LinkUp(e.U, e.V))
 	}
 
+	// Gray stalls: inflate this epoch's chosen NCUs through the convergence
+	// and ledger phases. A stalled node is slow, not down — every invariant
+	// below must hold unchanged. The rng is only consulted when stalls are
+	// configured, so gray-free runs draw bit-identically to before.
+	if r.cfg.Stall > 0 {
+		for _, s := range r.stalls.Plan(epoch, r.st, r.rng) {
+			r.h.StallNode(s.Node, s.Window, s.Extra)
+			r.res.GrayStalls++
+		}
+	}
+
 	// I1: topology databases re-converge to the ground truth — through the
 	// lossy fabric when a profile is configured.
 	r.h.SetMsgFaults(profile)
@@ -599,6 +683,15 @@ func (r *soakRun) epoch(epoch int) (bool, error) {
 		// invariant must hold with the stale-tree recovery paths live.
 		if r.cfg.Reorder > 0 {
 			if ok, err := r.checkReorderElection(epoch); err != nil || !ok {
+				return ok, err
+			}
+		}
+		// I8: gray failures degrade, never kill — an adaptive detector must
+		// raise zero suspicions against a live-but-slowed/stalled leader,
+		// and with slowdown in the profile the election must still complete
+		// within the I7 bound.
+		if r.cfg.gray() {
+			if ok, err := r.checkGray(epoch); err != nil || !ok {
 				return ok, err
 			}
 		}
@@ -999,6 +1092,207 @@ func (r *soakRun) checkReorderElection(epoch int) (bool, error) {
 	}
 	r.res.ReorderElections++
 	r.res.ReorderRecoveries += res.Stats.Recoveries.Load()
+	return true, nil
+}
+
+// checkGray verifies invariant I8 on the largest live component, in two
+// phases. First the degradation direction: every node arms an adaptive
+// (phi-accrual) failure detector on a fixed leader and probes it for 24
+// periods through the gray fabric — slowed links, and mid-run a GC-style
+// NCU stall of the leader itself when stalls are configured. The leader is
+// slow but alive the whole time, so any suspicion is a false deposition and
+// an I8 violation (a fixed-miss detector is provably fooled here: with
+// randomized per-hop delays the probe RTT exceeds the beat period, so the
+// miss streak never clears). Then the progress direction: with slowdown in
+// the profile the §4 election must still elect one leader owning the whole
+// component within Theorem 5's message bound — gray links stretch the
+// election, they must not wedge it.
+func (r *soakRun) checkGray(epoch int) (bool, error) {
+	live := r.st.Live()
+	comps := live.Components()
+	var comp []core.NodeID
+	for _, c := range comps {
+		if len(c) > len(comp) {
+			comp = c
+		}
+	}
+	if len(comp) < 2 {
+		return true, nil
+	}
+	sub, ids := inducedSubgraph(live, comp)
+	var slowOnly core.MsgFaults
+	if r.cfg.Slow > 0 {
+		slowOnly = core.MsgFaults{
+			Slowdown:   r.cfg.Slow,
+			SlowFactor: r.cfg.slowFactor(),
+			SlowMax:    core.Time(r.cfg.slowMax()),
+		}
+	}
+	timeout := r.cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	// Phase 1: the detector scenario. Leader is local node 0 (ground truth
+	// keeps it live — only the harness stalls it); probes travel the BFS
+	// tree paths, acks the hardware reverse route.
+	const (
+		beats = 24
+		phi   = 3
+	)
+	leader := core.NodeID(0)
+	tree := sub.BFSTree(leader)
+	maxDepth := 1
+	for v := 0; v < sub.N(); v++ {
+		if tree.Depth[v] > maxDepth {
+			maxDepth = tree.Depth[v]
+		}
+	}
+	seed := r.cfg.Seed*7776001 + int64(epoch) + 11
+	dets := make([]*election.Detector, sub.N())
+	factory := func(id core.NodeID) core.Protocol {
+		dets[id] = election.NewAdaptiveDetector(id, phi)
+		return &election.DetectorNode{D: dets[id]}
+	}
+	arm := func(pm *core.PortMap) error {
+		for v := 0; v < sub.N(); v++ {
+			u := core.NodeID(v)
+			if u == leader {
+				dets[u].SetLeader(leader, nil)
+				continue
+			}
+			path := tree.PathFromRoot(u)
+			rev := make([]core.NodeID, len(path))
+			for i, p := range path {
+				rev[len(path)-1-i] = p
+			}
+			links, err := pm.RouteLinks(rev)
+			if err != nil {
+				return fmt.Errorf("faults: gray detector route to leader: %w", err)
+			}
+			dets[u].SetLeader(leader, anr.Direct(links))
+		}
+		return nil
+	}
+	if r.cfg.runtime() == "gosim" {
+		// No time model: the quiescence barrier between beats stands in for
+		// the probe period, and the leader stall is an activation-count
+		// window of deschedules. The detector must stay unsuspicious while
+		// the scheduler does its worst.
+		net := gosim.New(sub, factory, gosim.WithSeed(seed), gosim.WithMsgFaults(slowOnly))
+		if err := arm(net.PortMap()); err != nil {
+			net.Shutdown()
+			return false, err
+		}
+		for i := 1; i <= beats; i++ {
+			if r.cfg.Stall > 0 && i == beats/2 {
+				net.StallNode(leader, core.Time(2*sub.N()), core.Time(r.cfg.stallTicks()))
+			}
+			for v := 0; v < sub.N(); v++ {
+				if core.NodeID(v) != leader {
+					net.Inject(core.NodeID(v), election.BeatTick{})
+				}
+			}
+			if err := net.AwaitQuiescence(timeout); err != nil {
+				net.Shutdown()
+				return false, fmt.Errorf("faults: gray detector scenario: %w", err)
+			}
+		}
+		net.Shutdown()
+	} else {
+		// The period covers both dimensions of load: probes travel ~8·depth
+		// of randomized fabric, and the leader is a *serial* NCU answering
+		// n-1 probers per period, so the period must also cover n·swDelay of
+		// ack service or the leader's queue grows without bound and honest
+		// slowness turns into unbounded silence.
+		net := sim.New(sub, factory,
+			sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(seed),
+			sim.WithMsgFaults(slowOnly))
+		if err := arm(net.PortMap()); err != nil {
+			return false, err
+		}
+		period := core.Time(8*maxDepth + 4*sub.N())
+		for i := 1; i <= beats; i++ {
+			at := core.Time(i) * period
+			for v := 0; v < sub.N(); v++ {
+				if core.NodeID(v) != leader {
+					net.Inject(at, core.NodeID(v), election.BeatTick{})
+				}
+			}
+		}
+		if r.cfg.Stall > 0 {
+			// Mid-run the leader itself goes gray: every activation inside a
+			// two-period window pays a surcharge sized so the injected
+			// backlog is ~two periods of work — probers see ack silences
+			// several periods long (enough to burn a fixed miss budget of 3)
+			// while phi, tracking the learned inter-arrival mean, stays put.
+			if _, err := net.RunUntil(core.Time(beats/2) * period); err != nil {
+				return false, fmt.Errorf("faults: gray detector scenario: %w", err)
+			}
+			net.StallNode(leader, 2*period, max(1, 2*period/core.Time(sub.N())))
+		}
+		if _, err := net.Run(); err != nil {
+			return false, fmt.Errorf("faults: gray detector scenario: %w", err)
+		}
+	}
+	for v := 0; v < sub.N(); v++ {
+		u := core.NodeID(v)
+		if u == leader {
+			continue
+		}
+		st := dets[u].Stats()
+		st.Leader = ids[leader]
+		if st.Phi >= r.res.Det.Phi {
+			r.res.Det = st
+		}
+		if st.Suspected {
+			r.res.GraySuspects++
+			r.violate(epoch, 8, "adaptive detector at node %d deposed the live-but-gray leader %d (phi=%.2f misses=%d lastAck=%d)",
+				ids[u], ids[leader], st.Phi, st.Misses, st.LastAckTick)
+		}
+	}
+	if r.res.GraySuspects > 0 {
+		return false, nil
+	}
+
+	// Phase 2: the gray election — only meaningful with slowdown in the
+	// fabric (a stall-only config exercises the main election via I2).
+	if r.cfg.Slow == 0 {
+		return true, nil
+	}
+	profile := slowOnly
+	if r.cfg.Reorder > 0 {
+		profile.Reorder = r.cfg.Reorder
+		profile.ReorderWindow = core.Time(r.cfg.reorderWindow())
+	}
+	eseed := r.cfg.Seed*1000003 + int64(epoch) + 13
+	var (
+		res election.Result
+		err error
+	)
+	if r.cfg.runtime() == "gosim" {
+		res, err = election.RunAsync(sub, election.AlgoToken, allOf(len(comp)), eseed, timeout,
+			gosim.WithMsgFaults(profile))
+	} else {
+		res, err = election.Run(sub, election.AlgoToken, allOf(len(comp)),
+			sim.WithDelays(3, 2), sim.WithRandomDelays(), sim.WithSeed(eseed),
+			sim.WithMsgFaults(profile))
+	}
+	if err != nil {
+		r.violate(epoch, 8, "gray re-election on the largest component (%d nodes): %v", len(comp), err)
+		return false, nil
+	}
+	if res.LeaderDomain != len(comp) {
+		r.violate(epoch, 8, "gray election: leader %d has domain %d, want the whole component (%d)",
+			ids[res.Leader], res.LeaderDomain, len(comp))
+		return false, nil
+	}
+	if bound := int64(6 * len(comp)); res.AlgorithmMessages > bound {
+		r.violate(epoch, 8, "gray election used %d algorithm messages, above Theorem 5's bound %d",
+			res.AlgorithmMessages, bound)
+		return false, nil
+	}
+	r.res.GrayElections++
 	return true, nil
 }
 

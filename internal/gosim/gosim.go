@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,7 +54,7 @@ func WithTrace(s trace.Sink) Option { return func(c *config) { c.sink = s } }
 func WithHopFilter(f core.HopFilter) Option { return func(c *config) { c.filter = f } }
 
 // WithMsgFaults enables the lossy-link model: each live-link traversal may
-// drop, duplicate, corrupt, or reorder the packet per the profile. Rolls are
+// drop, duplicate, corrupt, reorder, or slow the packet per the profile. Rolls are
 // serialized over one seeded source; under the Go scheduler's inherent
 // nondeterminism this runtime samples fault placements rather than
 // replaying them.
@@ -96,6 +97,8 @@ type Network struct {
 	faultCorr    atomic.Int64
 	faultJitter  atomic.Int64
 	faultReorder atomic.Int64
+	faultSlow    atomic.Int64
+	stallTicks   atomic.Int64
 	perNode    []atomic.Int64
 	actSeq     atomic.Int64
 	msgSeq     atomic.Int64
@@ -124,7 +127,11 @@ type gnode struct {
 	cond  *sync.Cond
 	queue []item
 	stop  bool
-	env   genv
+	// NCU-stall window (gray failure): the next stallLeft activations each
+	// yield the scheduler stallYield times before running.
+	stallLeft  int64
+	stallYield int
+	env        genv
 }
 
 type genv struct {
@@ -259,6 +266,22 @@ func (net *Network) MsgFaults() core.MsgFaults {
 	return net.faults
 }
 
+// StallNode opens an NCU-stall window at v (the gray-failure sibling of
+// CrashNode): with no delay model, a stall here means the next window
+// activations at v each yield the Go scheduler extra times before running —
+// the node is slow relative to its peers, not dead. Yields are accounted in
+// Metrics.StallTicks.
+func (net *Network) StallNode(v core.NodeID, window, extra core.Time) {
+	if extra <= 0 {
+		extra = 1
+	}
+	nd := net.nodes[v]
+	nd.mu.Lock()
+	nd.stallLeft = int64(window)
+	nd.stallYield = int(extra)
+	nd.mu.Unlock()
+}
+
 // CrashNode fails every link incident to v (the model's node failure: an
 // inactive node is one all of whose links are inactive).
 func (net *Network) CrashNode(v core.NodeID) {
@@ -329,6 +352,8 @@ func (net *Network) Metrics() core.Metrics {
 		FaultCorrupts:  net.faultCorr.Load(),
 		FaultJitters:   net.faultJitter.Load(),
 		FaultReorders:  net.faultReorder.Load(),
+		FaultSlowdowns: net.faultSlow.Load(),
+		StallTicks:     net.stallTicks.Load(),
 	}
 }
 
@@ -362,7 +387,20 @@ func (net *Network) loop(nd *gnode) {
 		}
 		it := nd.queue[0]
 		nd.queue = nd.queue[1:]
+		stall := 0
+		if nd.stallLeft > 0 {
+			nd.stallLeft--
+			stall = nd.stallYield
+		}
 		nd.mu.Unlock()
+		if stall > 0 {
+			// Stalled NCU: give every other runnable goroutine the processor
+			// before this activation runs — slow, not dead.
+			net.stallTicks.Add(int64(stall))
+			for i := 0; i < stall; i++ {
+				runtime.Gosched()
+			}
+		}
 
 		act := net.actSeq.Add(1)
 		nd.env.act = act
@@ -454,14 +492,17 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 				net.faultJitter.Add(1)
 			case core.FaultReorder:
 				net.faultReorder.Add(1)
+			case core.FaultSlowdown:
+				net.faultSlow.Add(1)
 			}
 			if f != core.FaultNone {
 				kind := map[core.MsgFault]trace.Kind{
-					core.FaultDrop:    trace.KindFaultDrop,
-					core.FaultDup:     trace.KindFaultDup,
-					core.FaultCorrupt: trace.KindFaultCorrupt,
-					core.FaultJitter:  trace.KindFaultJitter,
-					core.FaultReorder: trace.KindFaultReorder,
+					core.FaultDrop:     trace.KindFaultDrop,
+					core.FaultDup:      trace.KindFaultDup,
+					core.FaultCorrupt:  trace.KindFaultCorrupt,
+					core.FaultJitter:   trace.KindFaultJitter,
+					core.FaultReorder:  trace.KindFaultReorder,
+					core.FaultSlowdown: trace.KindFaultSlow,
 				}[f]
 				net.cfg.sink.Record(trace.Event{Kind: kind, Time: act, Node: at, Msg: msg, Cause: f.String()})
 			}

@@ -1,6 +1,7 @@
 package gosim_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +13,68 @@ import (
 )
 
 const streamCount = 30
+
+// TestReseqShutdownNoLeakWithPendingBuffers is the resequencer mirror of
+// TestShutdownNoLeakUnderFaults: a lossy fabric leaves permanent gaps in the
+// per-link streams, the age valve force-releases frames that outlive
+// HoldTicks, and the runtime is then shut down with out-of-order buffers
+// still held (their gaps can never fill — the frames were dropped). Every
+// node loop and in-flight delivery must wind down without leaking
+// goroutines. Run under -race in CI.
+func TestReseqShutdownNoLeakWithPendingBuffers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		g := graph.Path(2)
+		wrapped := reseq.WrapFactory(reseq.StreamFactory(), reseq.Config{Window: 64, HoldTicks: 1})
+		net := gosim.New(g, wrapped, gosim.WithSeed(int64(round)+3),
+			gosim.WithMsgFaults(core.MsgFaults{Drop: 0.4, Reorder: 0.3, ReorderWindow: 25}))
+		for u := 0; u < g.N(); u++ {
+			net.Inject(core.NodeID(u), reseq.Start{Count: 40})
+		}
+		// Two tick rounds across a quiesced-but-gapped fabric: the first
+		// starts the age clock, the second expires frames past HoldTicks.
+		for i := 0; i < 2; i++ {
+			if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < g.N(); u++ {
+				net.Inject(core.NodeID(u), reseq.Tick{})
+			}
+		}
+		if err := net.AwaitQuiescence(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var buffered, forced int64
+		for u := 0; u < g.N(); u++ {
+			st := net.Protocol(core.NodeID(u)).(*reseq.Node).Stats()
+			buffered += st.Buffered
+			forced += st.Forced
+		}
+		if buffered == 0 || forced == 0 {
+			t.Fatalf("round %d: scenario too tame to exercise the age valve: buffered=%d forced=%d",
+				round, buffered, forced)
+		}
+		// Refill the reorder buffers and shut down with frames still held.
+		for u := 0; u < g.N(); u++ {
+			net.Inject(core.NodeID(u), reseq.Start{Count: 40})
+		}
+		net.Shutdown()
+	}
+	// Goroutine counts are noisy; poll for decay back toward the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
 
 // TestResequencerGosim is the cross-runtime half of the resequencer's
 // differential contract: the goroutine runtime's real asynchrony plus a

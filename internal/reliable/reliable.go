@@ -112,6 +112,7 @@ type pending struct {
 	nextAt   int64 // tick count at which to retransmit
 	backoff  int64 // current backoff interval in ticks
 	deadline int64 // tick count at which to abort (0 = never)
+	sentAt   int64 // tick count of the most recent transmit (RTT sampling)
 }
 
 // Config parameterizes an Endpoint. The zero value is usable: RTO 1 tick,
@@ -123,6 +124,22 @@ type Config struct {
 	MaxBackoff int64
 	// Deadline aborts a frame this many ticks after first send; 0 disables.
 	Deadline int64
+	// Adaptive enables Jacobson/Karn RTT estimation: the first-attempt RTO
+	// of each destination tracks its smoothed ack round trip plus four mean
+	// deviations (measured in ticks), so a destination behind a gray link
+	// stops triggering spurious retransmissions. Frames that were ever
+	// retransmitted are excluded from sampling (Karn's rule: their acks are
+	// ambiguous), and until a clean sample exists the backed-off timeout is
+	// retained for new frames to the same destination (Karn's algorithm in
+	// full — otherwise a true RTT above RTO could never be learned). The
+	// zero value keeps today's fixed-RTO behavior exactly.
+	Adaptive bool
+	// MinRTO clamps the adaptive RTO from below (default RTO). Ignored when
+	// Adaptive is false.
+	MinRTO int64
+	// MaxRTO clamps the adaptive RTO from above (default MaxBackoff).
+	// Ignored when Adaptive is false.
+	MaxRTO int64
 	// OnDeliver receives each payload exactly once, in arrival order.
 	OnDeliver func(env core.Env, src core.NodeID, payload any)
 	// OnAbort is called when a frame hits its deadline.
@@ -131,6 +148,54 @@ type Config struct {
 	// bypasses it for attempt 0 and falls back to it for retransmissions
 	// when non-nil.
 	Route Router
+}
+
+// rttState is one destination's Jacobson/Karn estimator in the classic
+// fixed-point form (Van Jacobson's appendix / RFC 6298): srtt8 holds 8×SRTT
+// and rttvar4 holds 4×RTTVAR, so the 1/8 and 1/4 smoothing gains survive the
+// coarse integer tick clock.
+type rttState struct {
+	srtt8   int64
+	rttvar4 int64
+	samples int64
+	// carry implements the second half of Karn's algorithm: until the first
+	// unambiguous sample exists, a destination that forced retransmissions
+	// keeps its backed-off timeout for new frames too. Without it a true
+	// RTT above the configured RTO would retransmit every frame forever,
+	// Karn's rule would exclude every ack, and the estimator could never
+	// learn its way out.
+	carry int64
+}
+
+func (st *rttState) observe(sample int64) {
+	if st.samples == 0 {
+		st.srtt8 = sample << 3
+		st.rttvar4 = sample << 1
+	} else {
+		err := sample - st.srtt8>>3
+		st.srtt8 += err
+		if err < 0 {
+			err = -err
+		}
+		st.rttvar4 += err - st.rttvar4>>2
+	}
+	st.samples++
+}
+
+// rto is SRTT + 4×RTTVAR, with the variance term floored at one tick so a
+// perfectly steady destination still tolerates one tick of scheduling noise.
+func (st *rttState) rto() int64 {
+	return st.srtt8>>3 + max(1, st.rttvar4)
+}
+
+// RTTStats is the exported snapshot of one destination's estimator; the
+// per-route RTT ledger (RTTLedger / Slow) is what gray-failure-aware routing
+// consumes.
+type RTTStats struct {
+	SRTT    float64 // smoothed round trip, ticks
+	RTTVar  float64 // smoothed mean deviation, ticks
+	RTO     int64   // current first-attempt timeout, ticks (clamped)
+	Samples int64   // accepted samples (Karn-excluded acks don't count)
 }
 
 // recvState is the per-source dedup window.
@@ -153,6 +218,7 @@ type Endpoint struct {
 	nextSeq map[core.NodeID]uint64
 	pend    map[core.NodeID]map[uint64]*pending
 	recv    map[core.NodeID]*recvState
+	rtt     map[core.NodeID]*rttState
 	ticks   int64
 	stats   Stats
 }
@@ -165,13 +231,85 @@ func NewEndpoint(id core.NodeID, cfg Config) *Endpoint {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 16 * cfg.RTO
 	}
+	if cfg.Adaptive {
+		if cfg.MinRTO <= 0 {
+			cfg.MinRTO = cfg.RTO
+		}
+		if cfg.MaxRTO <= 0 {
+			cfg.MaxRTO = cfg.MaxBackoff
+		}
+	}
 	return &Endpoint{
 		id:      id,
 		cfg:     cfg,
 		nextSeq: make(map[core.NodeID]uint64),
 		pend:    make(map[core.NodeID]map[uint64]*pending),
 		recv:    make(map[core.NodeID]*recvState),
+		rtt:     make(map[core.NodeID]*rttState),
 	}
+}
+
+// rtoFor returns the first-attempt timeout for dst: the fixed RTO until the
+// adaptive estimator has a sample, the clamped Jacobson/Karn value after.
+func (e *Endpoint) rtoFor(dst core.NodeID) int64 {
+	if !e.cfg.Adaptive {
+		return e.cfg.RTO
+	}
+	st := e.rtt[dst]
+	if st == nil || st.samples == 0 {
+		if st != nil && st.carry > 0 {
+			return min(st.carry, e.cfg.MaxRTO)
+		}
+		return e.cfg.RTO
+	}
+	return min(max(st.rto(), e.cfg.MinRTO), e.cfg.MaxRTO)
+}
+
+// RTT returns dst's estimator snapshot; ok is false before the first sample.
+func (e *Endpoint) RTT(dst core.NodeID) (RTTStats, bool) {
+	st := e.rtt[dst]
+	if st == nil || st.samples == 0 {
+		return RTTStats{}, false
+	}
+	return RTTStats{
+		SRTT:    float64(st.srtt8) / 8,
+		RTTVar:  float64(st.rttvar4) / 4,
+		RTO:     e.rtoFor(dst),
+		Samples: st.samples,
+	}, true
+}
+
+// RTTLedger snapshots every destination with at least one accepted sample.
+func (e *Endpoint) RTTLedger() map[core.NodeID]RTTStats {
+	out := make(map[core.NodeID]RTTStats, len(e.rtt))
+	for d := range e.rtt {
+		if st, ok := e.RTT(d); ok {
+			out[d] = st
+		}
+	}
+	return out
+}
+
+// Slow reports whether dst's smoothed RTT exceeds factor× the fastest
+// destination this endpoint talks to (factor <= 1 defaults to 2) — the
+// observed-slowdown signal topology.DB.RouterFromPenalized consumes to
+// escalate off a gray primary route early. Destinations without samples are
+// never slow.
+func (e *Endpoint) Slow(dst core.NodeID, factor float64) bool {
+	if factor <= 1 {
+		factor = 2
+	}
+	st := e.rtt[dst]
+	if st == nil || st.samples == 0 {
+		return false
+	}
+	best := int64(-1)
+	for _, o := range e.rtt {
+		if o.samples > 0 && (best < 0 || o.srtt8 < best) {
+			best = o.srtt8
+		}
+	}
+	return float64(st.srtt8) > factor*float64(best)
 }
 
 // Stats returns a snapshot of the endpoint's counters.
@@ -223,7 +361,7 @@ func (e *Endpoint) SendRoute(env core.Env, dst core.NodeID, route anr.Header, pa
 	e.nextSeq[dst] = seq
 	f := &Frame{Src: e.id, Dst: dst, Seq: seq, Payload: payload}
 	f.Sum = checksum(f.Src, f.Dst, f.Seq, f.Payload)
-	p := &pending{frame: f, route: route, backoff: e.cfg.RTO}
+	p := &pending{frame: f, route: route, backoff: e.rtoFor(dst)}
 	if e.cfg.Deadline > 0 {
 		p.deadline = e.ticks + e.cfg.Deadline
 	}
@@ -238,13 +376,17 @@ func (e *Endpoint) SendRoute(env core.Env, dst core.NodeID, route anr.Header, pa
 }
 
 // transmit sends one attempt of p and schedules the next timeout with
-// exponential backoff plus one tick of rng jitter.
+// exponential backoff plus rng jitter proportional to the current interval.
 func (e *Endpoint) transmit(env core.Env, p *pending) {
 	p.attempt++
+	p.sentAt = e.ticks
 	// Send errors (route through a down first link, dmax) are treated like
 	// loss: the timeout path retries, possibly over an alternate route.
 	_ = env.Send(p.route, p.frame)
-	jitter := int64(env.Rand().Intn(int(e.cfg.RTO) + 1))
+	// Jitter scales with the interval actually being waited: a fixed
+	// [0, RTO] draw becomes negligible once backoff has grown, so endpoints
+	// that backed off together would retransmit in synchronized herds.
+	jitter := int64(env.Rand().Intn(int(p.backoff) + 1))
 	p.nextAt = e.ticks + p.backoff + jitter
 	p.backoff = min(2*p.backoff, e.cfg.MaxBackoff)
 }
@@ -286,6 +428,16 @@ func (e *Endpoint) Tick(env core.Env) {
 			}
 			e.stats.Retransmits++
 			e.transmit(env, p)
+			if e.cfg.Adaptive {
+				st := e.rtt[d]
+				if st == nil {
+					st = &rttState{}
+					e.rtt[d] = st
+				}
+				if st.samples == 0 && p.backoff > st.carry {
+					st.carry = p.backoff
+				}
+			}
 		}
 		if len(m) == 0 {
 			delete(e.pend, d)
@@ -355,9 +507,20 @@ func (e *Endpoint) onAck(a *Ack) {
 		return
 	}
 	m := e.pend[a.Src]
-	if m == nil || m[a.Seq] == nil {
+	p := m[a.Seq]
+	if p == nil {
 		e.stats.DupAcks++
 		return
+	}
+	// Karn's rule: only never-retransmitted frames yield RTT samples — an
+	// ack for a retransmitted frame cannot be attributed to one attempt.
+	if e.cfg.Adaptive && p.attempt == 1 {
+		st := e.rtt[a.Src]
+		if st == nil {
+			st = &rttState{}
+			e.rtt[a.Src] = st
+		}
+		st.observe(e.ticks - p.sentAt)
 	}
 	delete(m, a.Seq)
 	if len(m) == 0 {

@@ -81,3 +81,82 @@ func TestTopologyRouterFrom(t *testing.T) {
 		t.Fatalf("after 0-1 failure the route must leave via node 3's link: got %v", h)
 	}
 }
+
+// TestTopologyRouterFromPenalized wires the RTT ledger's slowdown signal
+// into the routing plane: a destination the ledger calls slow escalates to
+// the load-weighted alternate on the FIRST retransmission, healthy
+// destinations keep RouterFrom's exact schedule, and nil degrades to
+// RouterFrom behavior byte for byte.
+func TestTopologyRouterFromPenalized(t *testing.T) {
+	g := graph.Ring(4)
+	pm := core.NewPortMap(g)
+	db := topology.NewDB()
+	recs := topology.RecordsForGraph(g, pm, nil)
+	for _, r := range recs {
+		db.Update(r)
+	}
+	for _, r := range recs {
+		if r.Node == 0 {
+			for i := range r.Links {
+				if r.Links[i].Neighbor == 1 {
+					r.Links[i].Load = 10
+				}
+			}
+			r.Seq++
+			db.Update(r)
+		}
+	}
+	wantHop, err := db.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoad, err := db.RouteMinLoad(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantHop[0] == wantLoad[0] {
+		t.Fatalf("test graph did not separate the metrics: both routes start with %+v", wantHop[0])
+	}
+
+	graySet := map[core.NodeID]bool{2: true}
+	var router reliable.Router = db.RouterFromPenalized(0, func(dst core.NodeID) bool { return graySet[dst] })
+
+	// Gray destination: attempt 0 still uses the primary (the first send has
+	// no evidence yet in-band), every retransmission takes the alternate.
+	if h, ok := router(2, 0); !ok || h[0] != wantHop[0] {
+		t.Fatalf("gray attempt 0: route %v ok=%v, want primary %v", h, ok, wantHop)
+	}
+	for attempt := 1; attempt < 4; attempt++ {
+		h, ok := router(2, attempt)
+		if !ok || h[0] != wantLoad[0] {
+			t.Fatalf("gray attempt %d: route %v ok=%v, want alternate %v", attempt, h, ok, wantLoad)
+		}
+	}
+
+	// Healthy destination (ledger says fine): the base schedule, unchanged.
+	graySet[2] = false
+	for attempt := 0; attempt < 4; attempt++ {
+		h, ok := router(2, attempt)
+		if !ok {
+			t.Fatalf("healthy attempt %d: no route", attempt)
+		}
+		want := wantHop
+		if attempt >= 2 {
+			want = wantLoad
+		}
+		if h[0] != want[0] {
+			t.Fatalf("healthy attempt %d: route %v, want %v", attempt, h, want)
+		}
+	}
+
+	// nil slow-func degrades to RouterFrom exactly.
+	plain := db.RouterFrom(0)
+	nilPen := db.RouterFromPenalized(0, nil)
+	for attempt := 0; attempt < 4; attempt++ {
+		a, aok := plain(2, attempt)
+		b, bok := nilPen(2, attempt)
+		if aok != bok || len(a) != len(b) || (len(a) > 0 && a[0] != b[0]) {
+			t.Fatalf("attempt %d: nil-penalized diverged from RouterFrom: %v vs %v", attempt, a, b)
+		}
+	}
+}

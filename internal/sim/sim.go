@@ -179,7 +179,11 @@ type node struct {
 	rng       *rand.Rand // created on first draw; see node.random
 	ports     []core.Port
 	busyUntil core.Time
-	env       env
+	// NCU-stall window (gray failure): while now < stallUntil every
+	// activation's software delay is inflated by stallExtra.
+	stallUntil core.Time
+	stallExtra core.Time
+	env        env
 }
 
 // random returns the node's deterministic source, creating it on first use:
@@ -443,6 +447,20 @@ func (net *Network) SetMsgFaults(f core.MsgFaults) { net.cfg.faults = f }
 // MsgFaults returns the active lossy-link profile.
 func (net *Network) MsgFaults() core.MsgFaults { return net.cfg.faults }
 
+// StallNode opens an NCU-stall window at v (the gray-failure sibling of
+// CrashNode): for the next window units of virtual time, every activation at
+// v pays extra additional software delay — the node is slow, not dead. The
+// surcharge is accounted in Metrics.StallTicks. A second call replaces any
+// open window.
+func (net *Network) StallNode(v core.NodeID, window, extra core.Time) {
+	if extra <= 0 {
+		extra = 1
+	}
+	nd := &net.nodes[v]
+	nd.stallUntil = net.now + window
+	nd.stallExtra = extra
+}
+
 // Run drains the event queue and returns the finish time (the time of the
 // last NCU activation).
 func (net *Network) Run() (core.Time, error) {
@@ -702,10 +720,17 @@ func (net *Network) enqueueLinkEvent(v core.NodeID, port core.Port) {
 
 func (net *Network) swDelayFor(nd *node) core.Time {
 	p := net.cfg.swDelay
-	if !net.cfg.randomize || p <= 1 {
-		return p
+	if net.cfg.randomize && p > 1 {
+		p = 1 + core.Time(nd.random(net).Int63n(int64(p)))
 	}
-	return 1 + core.Time(nd.random(net).Int63n(int64(p)))
+	// A stalled NCU (GC-pause-style gray failure) pays extra software delay
+	// for every activation inside the window; the surcharge is accounted so
+	// soaks can report how much slowness was injected.
+	if net.now < nd.stallUntil && nd.stallExtra > 0 {
+		p += nd.stallExtra
+		net.metrics.StallTicks += int64(nd.stallExtra)
+	}
+	return p
 }
 
 func (net *Network) hwDelayOnce() core.Time {
@@ -842,6 +867,13 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 				net.metrics.FaultReorders++
 				extraDelay = net.cfg.faults.ReorderDelay(net.faultRng)
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultReorder, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultReorder.String()})
+			case core.FaultSlowdown:
+				// A gray link: the packet is delivered intact, just late —
+				// the extra delay is >= 1, so a slowed hop always leaves the
+				// instant and never fuses into a zero-delay chain.
+				net.metrics.FaultSlowdowns++
+				extraDelay = net.cfg.faults.SlowdownDelay(net.faultRng, net.cfg.hwDelay)
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultSlow, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultSlowdown.String()})
 			}
 		}
 		net.metrics.Hops++

@@ -16,7 +16,8 @@ type Kind int
 // routes records k sends sharing one activation). The KindFault* kinds are
 // emitted by the lossy-link model (core.MsgFaults): the event's Node is the
 // switching subsystem whose outgoing traversal was perturbed, and Cause
-// carries the fault tag ("drop", "dup", "corrupt", "jitter", "reorder").
+// carries the fault tag ("drop", "dup", "corrupt", "jitter", "reorder",
+// "slow").
 const (
 	KindSend Kind = iota + 1
 	KindDeliver
@@ -28,6 +29,7 @@ const (
 	KindFaultCorrupt
 	KindFaultJitter
 	KindFaultReorder
+	KindFaultSlow
 )
 
 // Event is one runtime occurrence. Act identifies the NCU activation in
