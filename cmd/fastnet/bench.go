@@ -33,6 +33,13 @@ type benchRow struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  int64   `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// MaxProcs is GOMAXPROCS at measurement time, per row: the sharded rows
+	// raise it to use all cores, and a throughput number is meaningless
+	// without knowing how many cores it was allowed to use.
+	MaxProcs int `json:"maxprocs"`
+	// Shards is the event-core count of the sharded scheduler rows (absent
+	// for classic serial benchmarks).
+	Shards int `json:"shards,omitempty"`
 }
 
 // benchFile is the BENCH_<date>.json schema: enough machine context to make
@@ -221,6 +228,7 @@ func newRow(name string, r testing.BenchmarkResult, eventsPerOp int64) benchRow 
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
 	}
 	if eventsPerOp > 0 && r.NsPerOp() > 0 {
 		row.EventsPerOp = eventsPerOp
@@ -312,7 +320,70 @@ func benchMicro() ([]benchRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(rows, grayRows...), nil
+	rows = append(rows, grayRows...)
+
+	shardRows, err := benchSharded()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, shardRows...), nil
+}
+
+// benchSharded measures the sharded space-parallel scheduler: one flood
+// broadcast over a large GNP graph at 1, 2, 4, and NumCPU shards, with
+// GOMAXPROCS raised so every shard can have a core. The shards=1 row is the
+// serial reference of the same stream contract, so events/sec ratios between
+// rows are the parallel speedup. The run at >= 4 shards doubles as a smoke
+// check that the partitioner actually engages the parallel path on GNP.
+func benchSharded() ([]benchRow, error) {
+	const n = 8192
+	g := graph.GNP(n, 6.0/n, 9)
+	counts := []int{1, 2, 4}
+	if nc := runtime.NumCPU(); nc > 4 {
+		counts = append(counts, nc)
+	}
+	var rows []benchRow
+	for _, shards := range counts {
+		name := fmt.Sprintf("ShardedBroadcast%d", shards)
+		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+		procs := runtime.NumCPU()
+		if shards > procs {
+			procs = shards
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		var events int64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil),
+					sim.WithDelays(2, 1), sim.WithSeed(7), sim.WithDmax(n), sim.WithShards(shards))
+				if shards >= 4 && net.Shards() <= 1 {
+					benchErr = fmt.Errorf("sharded engine not engaged on GNP: %+v", net.ShardInfo())
+					b.FailNow()
+				}
+				net.Inject(0, 0, topology.Trigger{})
+				if _, err := net.Run(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if m := net.Metrics(); m.Deliveries == 0 {
+					benchErr = fmt.Errorf("flood delivered nothing")
+					b.FailNow()
+				}
+				events = net.SchedStats().Events
+			}
+		})
+		runtime.GOMAXPROCS(prev)
+		if benchErr != nil {
+			return nil, fmt.Errorf("%s: %w", name, benchErr)
+		}
+		row := newRow(name, r, events)
+		row.MaxProcs = procs
+		row.Shards = shards
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // benchGosim measures the goroutine runtime end to end: build a 1024-node

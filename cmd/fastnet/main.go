@@ -107,6 +107,7 @@ func runExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	parallel := fs.Int("parallel", 1, "worker pool for sweep rows (0 = one per CPU; output is identical to serial)")
+	shards := fs.Int("shards", 0, "run every simulation on the sharded space-parallel scheduler with this many event cores (0 = classic serial)")
 	verbose := fs.Bool("v", false, "print per-experiment scheduler counters (events, fused hops, heap bypass) to stderr")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write an allocation profile to this file")
@@ -114,6 +115,9 @@ func runExp(args []string) error {
 		return err
 	}
 	experiments.SetWorkers(*parallel)
+	// Experiments construct their networks internally, so the shard request
+	// rides in on the package default rather than a per-network option.
+	sim.SetDefaultShards(*shards)
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		return err
@@ -166,6 +170,7 @@ func runSim(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		root     = fs.Int("root", 0, "broadcast origin / aggregation root")
 		random   = fs.Bool("random-delays", false, "sample delays uniformly from [1,C]/[1,P]")
+		shards   = fs.Int("shards", 0, "event cores for the sharded scheduler (0 = classic serial; needs -c >= 1 to engage)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +182,9 @@ func runSim(args []string) error {
 	opts := []sim.Option{sim.WithDelays(core.Time(*c), core.Time(*p)), sim.WithSeed(*seed)}
 	if *random {
 		opts = append(opts, sim.WithRandomDelays())
+	}
+	if *shards > 0 {
+		opts = append(opts, sim.WithShards(*shards))
 	}
 	fmt.Printf("topology %s: n=%d m=%d diameter=%d; C=%d P=%d seed=%d\n",
 		*topoName, g.N(), g.M(), g.Diameter(), *c, *p, *seed)
@@ -298,6 +306,7 @@ func runSoak(args []string) error {
 		maxRounds   = fs.Int("max-rounds", 0, "convergence-round cap (default n+8)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-quiescence bound (gosim runtime)")
 		verbose     = fs.Bool("v", false, "print one line per epoch")
+		shards      = fs.Int("shards", 0, "event cores for the sharded DES scheduler (0 = classic serial; implies unit hardware delay)")
 		seedCount   = fs.Int("seeds", 1, "run a campaign of this many consecutive seeds starting at -seed")
 		parallel    = fs.Int("parallel", 1, "workers for the multi-seed campaign (0 = one per CPU)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -351,6 +360,7 @@ func runSoak(args []string) error {
 		NoElection:     *noElection,
 		MaxRounds:      *maxRounds,
 		Timeout:        *timeout,
+		Shards:         *shards,
 	}
 	if *verbose {
 		cfg.Verbose = os.Stdout

@@ -84,6 +84,14 @@ type Config struct {
 	Calls      int  // calls set up (and failure-checked) per epoch
 	NoElection bool // skip the per-epoch re-election invariant
 
+	// Shards > 0 runs the DES fabric on the sharded space-parallel scheduler
+	// with that many event cores (see sim.WithShards). Because shard mode
+	// needs a nonzero lookahead, the fabric's hardware delay becomes 1 instead
+	// of the classic soak's 0 — a sharded soak is therefore a different (but
+	// per-shard-count deterministic) schedule than the Shards == 0 soak, not a
+	// reparallelization of it. DES runtime only; ignored under gosim.
+	Shards int
+
 	MaxRounds int           // convergence-round cap (default n+8)
 	Timeout   time.Duration // per-quiescence bound, goroutine runtime only
 	Verbose   io.Writer     // optional per-epoch progress lines
@@ -116,6 +124,9 @@ func (cfg Config) Repro(topo string, n int) string {
 	}
 	if cfg.MaxRounds > 0 {
 		fmt.Fprintf(&b, " -max-rounds %d", cfg.MaxRounds)
+	}
+	if cfg.Shards > 0 {
+		fmt.Fprintf(&b, " -shards %d", cfg.Shards)
 	}
 	if cfg.Adversary {
 		b.WriteString(" -adversary")
@@ -490,6 +501,11 @@ func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 		opts := []sim.Option{
 			sim.WithDelays(0, 1), sim.WithSeed(cfg.Seed), sim.WithDmax(dmax),
 			sim.WithEventBudget(500_000_000),
+		}
+		if cfg.Shards > 0 {
+			// Shard mode needs lookahead >= 1: give every hop a unit hardware
+			// delay so the partitioner has delay-1 edges to cut.
+			opts = append(opts, sim.WithDelays(1, 1), sim.WithShards(cfg.Shards))
 		}
 		if r.wit != nil {
 			opts = append(opts, sim.WithTrace(r.wit))

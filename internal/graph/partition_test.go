@@ -1,0 +1,169 @@
+package graph_test
+
+import (
+	"testing"
+
+	"fastnet/internal/graph"
+)
+
+func unitDelay(u, v graph.NodeID) int64 { return 1 }
+
+func TestPartitionKBasic(t *testing.T) {
+	g := graph.Grid(8, 8)
+	p := graph.PartitionK(g, graph.PartitionOptions{K: 4, Seed: 1, EdgeDelay: unitDelay})
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 {
+		t.Fatalf("K = %d, want 4", p.K)
+	}
+	for c, s := range p.Sizes {
+		if s < 8 || s > 24 {
+			t.Errorf("part %d badly balanced: %d nodes of 64", c, s)
+		}
+	}
+	if p.MinCrossDelay != 1 {
+		t.Fatalf("MinCrossDelay = %d, want 1", p.MinCrossDelay)
+	}
+	if p.CutEdges == 0 {
+		t.Fatal("connected graph split into 4 parts must cut edges")
+	}
+}
+
+// A 2-way split of an r x r grid has an ideal cut of about r edges. The
+// BFS-grow + refine partitioner won't hit the optimum, but it must beat a
+// striped (round-robin) assignment by a wide margin — that is the "quality"
+// bar: locality, not just balance.
+func TestPartitionKCutQuality(t *testing.T) {
+	const r = 16
+	g := graph.Grid(r, r)
+	p := graph.PartitionK(g, graph.PartitionOptions{K: 2, Seed: 3, EdgeDelay: unitDelay})
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	striped := make([]int32, g.N())
+	for u := range striped {
+		striped[u] = int32(u % 2)
+	}
+	stripedCut := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) < v && striped[u] != striped[v] {
+				stripedCut++
+			}
+		}
+	}
+	if p.CutEdges*4 > stripedCut {
+		t.Fatalf("grid cut %d not clearly better than striped cut %d", p.CutEdges, stripedCut)
+	}
+	if p.CutEdges > 3*r {
+		t.Fatalf("grid cut %d, want within 3x of ideal %d", p.CutEdges, r)
+	}
+}
+
+func TestPartitionKZeroDelayContraction(t *testing.T) {
+	// Path 0-1-2-3-4-5 where edges {1,2} and {3,4} have delay 0: nodes 1,2
+	// and 3,4 must land in the same part, and no cut edge may have delay 0.
+	g := graph.New(6)
+	for u := 0; u < 5; u++ {
+		g.AddEdge(graph.NodeID(u), graph.NodeID(u+1))
+	}
+	delay := func(u, v graph.NodeID) int64 {
+		if v < u {
+			u, v = v, u
+		}
+		if (u == 1 && v == 2) || (u == 3 && v == 4) {
+			return 0
+		}
+		return 5
+	}
+	p := graph.PartitionK(g, graph.PartitionOptions{K: 3, Seed: 7, EdgeDelay: delay})
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.Assign[1] != p.Assign[2] {
+		t.Fatalf("zero-delay edge {1,2} cut: parts %d, %d", p.Assign[1], p.Assign[2])
+	}
+	if p.Assign[3] != p.Assign[4] {
+		t.Fatalf("zero-delay edge {3,4} cut: parts %d, %d", p.Assign[3], p.Assign[4])
+	}
+	if p.K > 1 && p.MinCrossDelay < 1 {
+		t.Fatalf("MinCrossDelay = %d with %d parts, want >= 1", p.MinCrossDelay, p.K)
+	}
+}
+
+func TestPartitionKAllZeroDelayFallsBackToOnePart(t *testing.T) {
+	g := graph.GNP(32, 0.2, 5)
+	zero := func(u, v graph.NodeID) int64 { return 0 }
+	p := graph.PartitionK(g, graph.PartitionOptions{K: 4, Seed: 1, EdgeDelay: zero})
+	if p.K != 1 {
+		t.Fatalf("all-zero-delay graph: K = %d, want 1", p.K)
+	}
+	if p.CutEdges != 0 || p.MinCrossDelay != 0 {
+		t.Fatalf("one part but cut=%d minDelay=%d", p.CutEdges, p.MinCrossDelay)
+	}
+}
+
+func TestPartitionKDeterministic(t *testing.T) {
+	g := graph.GNP(100, 0.08, 11)
+	a := graph.PartitionK(g, graph.PartitionOptions{K: 4, Seed: 9, EdgeDelay: unitDelay})
+	b := graph.PartitionK(g, graph.PartitionOptions{K: 4, Seed: 9, EdgeDelay: unitDelay})
+	if len(a.Assign) != len(b.Assign) {
+		t.Fatal("assign length mismatch")
+	}
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatalf("node %d: %d vs %d across identical runs", u, a.Assign[u], b.Assign[u])
+		}
+	}
+}
+
+func TestPartitionKSmallGraphs(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		g := graph.New(n)
+		for u := 1; u < n; u++ {
+			g.AddEdge(0, graph.NodeID(u))
+		}
+		p := graph.PartitionK(g, graph.PartitionOptions{K: 8, Seed: 2, EdgeDelay: unitDelay})
+		if n > 0 {
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		if p.K > n && n > 0 {
+			t.Fatalf("n=%d: K = %d exceeds node count", n, p.K)
+		}
+	}
+}
+
+func TestPartitionKMinCrossDelayReflectsEdges(t *testing.T) {
+	// Two cliques joined by a single delay-7 bridge: with K=2 the bridge is
+	// the only sensible cut, so MinCrossDelay should be 7.
+	g := graph.New(12)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			g.AddEdge(graph.NodeID(u+6), graph.NodeID(v+6))
+		}
+	}
+	g.AddEdge(2, 8)
+	delay := func(u, v graph.NodeID) int64 {
+		if v < u {
+			u, v = v, u
+		}
+		if u == 2 && v == 8 {
+			return 7
+		}
+		return 3
+	}
+	p := graph.PartitionK(g, graph.PartitionOptions{K: 2, Seed: 4, EdgeDelay: delay})
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.CutEdges != 1 {
+		t.Fatalf("cut = %d edges, want the single bridge", p.CutEdges)
+	}
+	if p.MinCrossDelay != 7 {
+		t.Fatalf("MinCrossDelay = %d, want 7", p.MinCrossDelay)
+	}
+}

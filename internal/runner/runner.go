@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,8 +34,10 @@ func Workers(n int) int {
 // must match.
 //
 // All items are always processed (a DES task is cheap relative to the cost
-// of half-finished sweeps); if any fail, the error of the smallest item
-// index is returned, making error reporting deterministic too.
+// of half-finished sweeps); if any fail, the errors of ALL failed items are
+// aggregated with errors.Join in item order, each annotated with its index —
+// a 50-seed campaign with three bad seeds reports all three, not just the
+// smallest index.
 func Map[T, R any](workers int, items []T, f func(T) (R, error)) ([]R, error) {
 	results := make([]R, len(items))
 	if len(items) == 0 {
@@ -44,17 +47,13 @@ func Map[T, R any](workers int, items []T, f func(T) (R, error)) ([]R, error) {
 	if workers > len(items) {
 		workers = len(items)
 	}
+	errs := make([]error, len(items))
 	if workers <= 1 {
 		for i, it := range items {
-			r, err := f(it)
-			if err != nil {
-				return nil, fmt.Errorf("task %d: %w", i, err)
-			}
-			results[i] = r
+			results[i], errs[i] = f(it)
 		}
-		return results, nil
+		return finishMap(results, errs)
 	}
-	errs := make([]error, len(items))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -71,10 +70,20 @@ func Map[T, R any](workers int, items []T, f func(T) (R, error)) ([]R, error) {
 		}()
 	}
 	wg.Wait()
+	return finishMap(results, errs)
+}
+
+// finishMap turns the per-item error vector into Map's return value: nil
+// results plus all failures joined in item order, or the results and nil.
+func finishMap[R any](results []R, errs []error) ([]R, error) {
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("task %d: %w", i, err)
+			failed = append(failed, fmt.Errorf("task %d: %w", i, err))
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
 	}
 	return results, nil
 }

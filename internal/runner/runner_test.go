@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -30,20 +31,35 @@ func TestMapOrderAndCompleteness(t *testing.T) {
 	}
 }
 
-func TestMapFirstErrorByIndex(t *testing.T) {
+// Map must report EVERY failed item, not just the smallest index (the old
+// behavior silently swallowed all but the first failure of a campaign), in
+// deterministic item order, on both the serial and the parallel path.
+func TestMapAggregatesAllErrors(t *testing.T) {
 	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	boom := errors.New("boom")
-	_, err := runner.Map(4, items, func(x int) (int, error) {
-		if x == 3 || x == 6 {
-			return 0, fmt.Errorf("%w at %d", boom, x)
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := runner.Map(workers, items, func(x int) (int, error) {
+			ran.Add(1)
+			if x == 3 || x == 6 {
+				return 0, fmt.Errorf("%w at %d", boom, x)
+			}
+			return x, nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: want wrapped boom, got %v", workers, err)
 		}
-		return x, nil
-	})
-	if err == nil || !errors.Is(err, boom) {
-		t.Fatalf("want wrapped boom, got %v", err)
-	}
-	if want := "task 3"; err.Error()[:len(want)] != want {
-		t.Fatalf("error must name the smallest failing index: %v", err)
+		msg := err.Error()
+		i3, i6 := strings.Index(msg, "task 3"), strings.Index(msg, "task 6")
+		if i3 < 0 || i6 < 0 {
+			t.Fatalf("workers=%d: error must name both failing tasks: %v", workers, err)
+		}
+		if i3 > i6 {
+			t.Fatalf("workers=%d: errors not in item order: %v", workers, err)
+		}
+		if ran.Load() != int64(len(items)) {
+			t.Fatalf("workers=%d: ran %d of %d items despite failures", workers, ran.Load(), len(items))
+		}
 	}
 }
 

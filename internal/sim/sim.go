@@ -57,6 +57,7 @@ type config struct {
 	filter      core.HopFilter
 	faults      core.MsgFaults
 	cutThrough  bool
+	shards      int // -1 = unset (use package default); 0 = classic; >= 1 = shard mode
 }
 
 // Option configures a Network.
@@ -171,6 +172,21 @@ type Network struct {
 	eventCount int64
 	stats      SchedStats // scheduler observability; Events mirrors eventCount on read
 	flushed    SchedStats // portion already added to the global aggregate
+
+	// Shard-mode state (see shard.go and docs/PERF.md). In shard mode event
+	// keys, delay draws, fault rolls, and activation/message labels come from
+	// per-node streams so that every observable is invariant under the shard
+	// count; the classic fields above keep their exact behavior when
+	// shardMode is false.
+	shardMode bool
+	shardID   int32
+	assign    []int32      // node -> shard; nil unless a multi-shard child
+	outbox    [][]eventRec // per-target-shard boundary packets awaiting the barrier
+	scriptCtr *uint64      // shared driver-event ordinal (sorts before all node keys)
+	curOrigin int32        // node whose dispatch is executing; -1 in driver context
+	group     *shardGroup  // non-nil on the facade of a multi-shard network
+	tb        *traceBuf    // this core's private trace buffer (shard mode)
+	userSink  trace.Sink   // the caller's sink, fed by the merged flush
 }
 
 type node struct {
@@ -184,6 +200,17 @@ type node struct {
 	stallUntil core.Time
 	stallExtra core.Time
 	env        env
+
+	// Shard-mode per-node streams: hardware-delay draws, fault rolls, and
+	// the canonical event-key / activation / message counters all live on
+	// the node so a run's draw sequences are a pure function of (seed, node)
+	// — independent of how nodes interleave across shards. Touched only by
+	// the owning shard.
+	hwRng  *rand.Rand
+	fltRng *rand.Rand
+	keyCtr uint64
+	actCtr int64
+	msgCtr int64
 }
 
 // random returns the node's deterministic source, creating it on first use:
@@ -215,9 +242,13 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		sink:        trace.Discard{},
 		eventBudget: 50_000_000,
 		cutThrough:  !cutThroughOff.Load(),
+		shards:      -1,
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.shards < 0 {
+		cfg.shards = int(defaultShardsN.Load())
 	}
 	pm := core.NewPortMap(g)
 	net := &Network{
@@ -249,9 +280,17 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		nd.ports = arena[start:len(arena):len(arena)]
 		nd.env = env{net: net, nd: nd}
 	}
+	if cfg.shards >= 1 {
+		net.buildShards()
+	}
 	for i := range net.nodes {
 		nd := &net.nodes[i]
+		// Init runs in the node's own dispatch context so Init-time sends
+		// draw canonical shard-mode keys from the node's counter.
+		owner := nd.env.net
+		owner.curOrigin = int32(nd.id)
 		nd.proto.Init(&nd.env)
+		owner.curOrigin = -1
 	}
 	return net
 }
@@ -266,14 +305,25 @@ func (net *Network) Graph() *graph.Graph { return net.g }
 // Now returns the current virtual time.
 func (net *Network) Now() core.Time { return net.now }
 
-// Metrics returns the accumulated cost measures.
-func (net *Network) Metrics() core.Metrics { return net.metrics }
+// Metrics returns the accumulated cost measures (aggregated across shards:
+// sums, with max for MaxHeaderHops and FinishTime).
+func (net *Network) Metrics() core.Metrics {
+	if net.group != nil {
+		return net.group.metrics()
+	}
+	return net.metrics
+}
 
 // Events returns the number of scheduler events processed so far; divided by
 // wall-clock it is the event throughput `fastnet bench` reports. Hardware
 // hops fused by cut-through are not events (that is the point of the
 // optimization); they are counted in SchedStats().FusedHops.
-func (net *Network) Events() int64 { return net.eventCount }
+func (net *Network) Events() int64 {
+	if net.group != nil {
+		return net.group.events()
+	}
+	return net.eventCount
+}
 
 // SchedStats are scheduler observability counters: how much work the event
 // core did and how much of it the same-time fast paths absorbed. They are
@@ -325,8 +375,12 @@ func (s *SchedStats) add(o SchedStats) {
 	}
 }
 
-// SchedStats returns this network's cumulative scheduler counters.
+// SchedStats returns this network's cumulative scheduler counters
+// (aggregated across shards).
 func (net *Network) SchedStats() SchedStats {
+	if net.group != nil {
+		return net.group.schedStats()
+	}
 	s := net.stats
 	s.Events = net.eventCount
 	return s
@@ -388,29 +442,42 @@ func (net *Network) BusyTimePerNode() []core.Time {
 func (net *Network) Protocol(u core.NodeID) core.Protocol { return net.nodes[u].proto }
 
 // Inject schedules an external packet (e.g. a START message) for node v's
-// NCU at time t. It counts as an injection, not a delivery.
+// NCU at time t. It counts as an injection, not a delivery. On a sharded
+// network the event goes to v's owning shard, keyed by the shared driver
+// ordinal so scripted events keep one global order regardless of shard count.
 func (net *Network) Inject(t core.Time, v core.NodeID, payload any) {
-	r := net.newRec()
+	owner := net.ownerOf(v)
+	r := owner.newRec()
 	r.node = v
 	r.payload = payload
-	net.push(t, evInject, r)
+	owner.push(t, evInject, r)
 }
 
 // SetLink schedules a link state change at time t. The hardware state flips
 // at t; both endpoint NCUs receive a LinkEvent activation (the data-link
-// notification).
+// notification). On a sharded network a cut edge's flip is delivered to both
+// endpoint-owning shards — each updates its own link-state map and notifies
+// only the endpoints it owns. Driver ordinals sort before all node-created
+// events at the same instant, so the flip is visible to every hop at t on
+// every shard.
 func (net *Network) SetLink(t core.Time, u, v core.NodeID, up bool) {
 	if !net.g.HasEdge(u, v) {
 		panic(fmt.Sprintf("sim: SetLink on non-edge %d-%d", u, v))
 	}
-	r := net.newRec()
+	ou, ov := net.ownerOf(u), net.ownerOf(v)
+	r := ou.newRec()
 	r.u, r.v, r.up = u, v, up
-	net.push(t, evLinkFlip, r)
+	ou.push(t, evLinkFlip, r)
+	if ov != ou {
+		r := ov.newRec()
+		r.u, r.v, r.up = u, v, up
+		ov.push(t, evLinkFlip, r)
+	}
 }
 
 // LinkUp reports the current hardware state of edge {u, v}.
 func (net *Network) LinkUp(u, v core.NodeID) bool {
-	return !net.down[graph.Edge{U: u, V: v}.Canon()]
+	return !net.ownerOf(u).down[graph.Edge{U: u, V: v}.Canon()]
 }
 
 // CrashNode schedules the model's node failure at time t: an inactive node
@@ -442,7 +509,14 @@ func (net *Network) InjectLink(u, v core.NodeID, up bool) {
 // onto a link keep the roll they got). The fault stream itself is not
 // reset, so a driver toggling profiles deterministically keeps the run a
 // pure function of the seed.
-func (net *Network) SetMsgFaults(f core.MsgFaults) { net.cfg.faults = f }
+func (net *Network) SetMsgFaults(f core.MsgFaults) {
+	net.cfg.faults = f
+	if net.group != nil {
+		for _, ch := range net.group.children {
+			ch.cfg.faults = f
+		}
+	}
+}
 
 // MsgFaults returns the active lossy-link profile.
 func (net *Network) MsgFaults() core.MsgFaults { return net.cfg.faults }
@@ -464,13 +538,28 @@ func (net *Network) StallNode(v core.NodeID, window, extra core.Time) {
 // Run drains the event queue and returns the finish time (the time of the
 // last NCU activation).
 func (net *Network) Run() (core.Time, error) {
-	return net.run(-1)
+	return net.runTop(-1)
 }
 
 // RunUntil processes events with time <= deadline, leaving later events
 // queued, and advances the clock to the deadline.
 func (net *Network) RunUntil(deadline core.Time) (core.Time, error) {
-	return net.run(deadline)
+	return net.runTop(deadline)
+}
+
+// runTop routes a run to the right engine: the synchronous-window
+// coordinator for a multi-shard network, the plain event loop otherwise. A
+// shard-mode serial network additionally flushes its buffered trace through
+// the canonical merge so its stream is byte-identical to a multi-shard run's.
+func (net *Network) runTop(deadline core.Time) (core.Time, error) {
+	if net.group != nil {
+		return net.group.run(deadline)
+	}
+	t, err := net.run(deadline)
+	if net.userSink != nil {
+		flushShardTrace([]*Network{net}, net.userSink)
+	}
+	return t, err
 }
 
 // run drains events in strict (t, seq) order from three tiers: the heap's
@@ -486,6 +575,13 @@ func (net *Network) RunUntil(deadline core.Time) (core.Time, error) {
 // (t, seq) priority queue's.
 func (net *Network) run(deadline core.Time) (core.Time, error) {
 	defer net.flushGlobalStats()
+	return net.runCore(deadline)
+}
+
+// runCore is the event loop proper; shard workers call it once per window
+// (the per-run bookkeeping of run would be waste there).
+func (net *Network) runCore(deadline core.Time) (core.Time, error) {
+	defer func() { net.curOrigin = -1 }()
 	for {
 		var ev eventRec
 		switch {
@@ -583,23 +679,25 @@ func (net *Network) dispatch(ev eventRec) {
 		nodeID, h, i, revBuf := r.node, r.h, int(r.hopIdx), r.rev
 		arrivedOn, payload, msg := r.arrivedOn, r.payload, r.msg
 		net.freeRec(r)
+		net.curOrigin = int32(nodeID)
 		net.stepHop(nodeID, h, i, revBuf, arrivedOn, payload, msg)
 	case evActivation:
 		nodeID, pkt, msg, isCopy := r.node, r.pkt, r.msg, r.isCopy
 		net.freeRec(r)
+		net.curOrigin = int32(nodeID)
 		nd := &net.nodes[nodeID]
-		net.actSeq++
-		nd.env.act = net.actSeq
+		act := net.nextAct(nd)
+		nd.env.act = act
 		if pkt.Injected {
 			net.metrics.Injections++
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindInject, Time: int64(net.now), Node: nodeID, Act: net.actSeq, Msg: msg})
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindInject, Time: int64(net.now), Node: nodeID, Act: act, Msg: msg})
 		} else {
 			net.metrics.Deliveries++
 			net.perNode[nodeID]++
 			if isCopy {
 				net.metrics.CopyDeliveries++
 			}
-			net.cfg.sink.Record(trace.Event{Kind: trace.KindDeliver, Time: int64(net.now), Node: nodeID, Act: net.actSeq, Msg: msg})
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindDeliver, Time: int64(net.now), Node: nodeID, Act: act, Msg: msg})
 		}
 		if net.now > net.metrics.FinishTime {
 			net.metrics.FinishTime = net.now
@@ -609,19 +707,21 @@ func (net *Network) dispatch(ev eventRec) {
 	case evLinkEvent:
 		nodeID, port := r.node, r.port
 		net.freeRec(r)
+		net.curOrigin = int32(nodeID)
 		nd := &net.nodes[nodeID]
-		net.actSeq++
-		nd.env.act = net.actSeq
+		act := net.nextAct(nd)
+		nd.env.act = act
 		net.metrics.LinkEvents++
 		if net.now > net.metrics.FinishTime {
 			net.metrics.FinishTime = net.now
 		}
-		net.cfg.sink.Record(trace.Event{Kind: trace.KindLinkEvent, Time: int64(net.now), Node: nodeID, Act: net.actSeq})
+		net.cfg.sink.Record(trace.Event{Kind: trace.KindLinkEvent, Time: int64(net.now), Node: nodeID, Act: act})
 		nd.proto.LinkEvent(&nd.env, port)
 		nd.env.act = 0
 	case evInject:
 		nodeID, payload := r.node, r.payload
 		net.freeRec(r)
+		net.curOrigin = int32(nodeID)
 		net.enqueueActivation(nodeID, core.Packet{
 			Payload:   payload,
 			Reverse:   anr.Local(),
@@ -634,10 +734,16 @@ func (net *Network) dispatch(ev eventRec) {
 		e := graph.Edge{U: u, V: v}.Canon()
 		net.down[e] = !up
 		for _, end := range [2]core.NodeID{u, v} {
+			// On a sharded network a cut edge's flip record reaches both
+			// shards; each notifies only the endpoint it owns.
+			if !net.ownsNode(end) {
+				continue
+			}
 			other := v
 			if end == v {
 				other = u
 			}
+			net.curOrigin = int32(end)
 			nd := &net.nodes[end]
 			lid, _ := net.pm.Toward(end, other)
 			port := &nd.ports[int(lid)-1]
@@ -662,14 +768,18 @@ func (net *Network) push(t core.Time, kind uint8, r *rec) {
 	if t < net.now {
 		t = net.now
 	}
-	net.seq++
-	e := eventRec{t: t, seq: net.seq, kind: kind, rec: r}
+	e := eventRec{t: t, seq: net.nextKey(), kind: kind, rec: r}
 	if t == net.now {
 		net.stats.LanePushes++
 		net.lane.pushBack(e)
 		return
 	}
-	if t-net.now < ringWindow {
+	// The calendar ring is a per-instant FIFO: correct for the classic
+	// scheduler's global push order, but shard mode dispatches same-instant
+	// events in canonical key order — which only the heap provides (the
+	// same-time lane stays valid: its entries are all created at the current
+	// instant by this shard, in key order).
+	if !net.shardMode && t-net.now < ringWindow {
 		net.stats.RingPushes++
 		net.ring[t%ringWindow].pushBack(e)
 		net.ringPending++
@@ -680,6 +790,90 @@ func (net *Network) push(t core.Time, kind uint8, r *rec) {
 	if n := net.queue.len(); n > net.stats.HeapPeak {
 		net.stats.HeapPeak = n
 	}
+}
+
+// nextKey assigns the scheduler key of a new event. Classic mode: the global
+// push sequence. Shard mode: a canonical key — driver-scripted events take a
+// shared ordinal (< 2^40, sorting before every node key at the same instant);
+// node-created events take ((node+1) << 40) | perNodeCounter, a pure function
+// of the creating node's dispatch history. Two shard-mode runs of the same
+// scenario assign identical keys to identical events regardless of the shard
+// count, which is what makes (t, key) dispatch order — and with it every
+// observable — shard-count-invariant.
+func (net *Network) nextKey() uint64 {
+	if !net.shardMode {
+		net.seq++
+		return net.seq
+	}
+	if net.curOrigin < 0 {
+		*net.scriptCtr = *net.scriptCtr + 1
+		return *net.scriptCtr
+	}
+	nd := &net.nodes[net.curOrigin]
+	nd.keyCtr++
+	return (uint64(net.curOrigin)+1)<<40 | nd.keyCtr
+}
+
+// nextAct assigns an activation label. Classic mode: the global activation
+// sequence. Shard mode: ((node+1) << 36) | perNodeCounter, so labels are
+// shard-count-invariant (trace projections compare them).
+func (net *Network) nextAct(nd *node) int64 {
+	if net.shardMode {
+		nd.actCtr++
+		return (int64(nd.id)+1)<<36 | nd.actCtr
+	}
+	net.actSeq++
+	return net.actSeq
+}
+
+// nextMsg assigns a message label for a packet sent by src; same scheme as
+// nextAct.
+func (net *Network) nextMsg(src core.NodeID) int64 {
+	if net.shardMode {
+		nd := &net.nodes[src]
+		nd.msgCtr++
+		return (int64(src)+1)<<36 | nd.msgCtr
+	}
+	net.msgSeq++
+	return net.msgSeq
+}
+
+// hwSrc is the hardware-delay stream for hops leaving node v: per-node in
+// shard mode, the network-global source otherwise.
+func (net *Network) hwSrc(v core.NodeID) *rand.Rand {
+	if !net.shardMode {
+		return net.rng
+	}
+	nd := &net.nodes[v]
+	if nd.hwRng == nil {
+		nd.hwRng = rand.New(rand.NewSource(net.cfg.seed ^ (-0x61C8864680B583EB * (int64(v) + 1))))
+	}
+	return nd.hwRng
+}
+
+// faultSrc is the lossy-link roll stream for traversals leaving node v;
+// per-node in shard mode so fault draws stay on the owning shard.
+func (net *Network) faultSrc(v core.NodeID) *rand.Rand {
+	if !net.shardMode {
+		return net.faultRng
+	}
+	nd := &net.nodes[v]
+	if nd.fltRng == nil {
+		nd.fltRng = rand.New(rand.NewSource((net.cfg.seed ^ 0x10551e5) + -0x61C8864680B583EB*(int64(v)+1)))
+	}
+	return nd.fltRng
+}
+
+// dupRev returns the reverse-path buffer a fault-injected duplicate should
+// carry. Classic mode shares the original (idempotent rewrites); shard mode
+// clones it — the duplicate and the original may cross shard boundaries at
+// different times, and sharing would make one shard re-write positions
+// another is reading.
+func (net *Network) dupRev(rev anr.Header) anr.Header {
+	if !net.shardMode {
+		return rev
+	}
+	return append(anr.Header(nil), rev...)
 }
 
 // enqueueActivation reserves the node's NCU for one software delay starting
@@ -733,12 +927,13 @@ func (net *Network) swDelayFor(nd *node) core.Time {
 	return p
 }
 
-func (net *Network) hwDelayOnce() core.Time {
+// hwDelayOnce draws one hardware delay for a hop leaving node from.
+func (net *Network) hwDelayOnce(from core.NodeID) core.Time {
 	c := net.cfg.hwDelay
 	if !net.cfg.randomize || c <= 1 {
 		return c
 	}
-	return 1 + core.Time(net.rng.Int63n(int64(c)))
+	return 1 + core.Time(net.hwSrc(from).Int63n(int64(c)))
 }
 
 // route launches packet routing from node src at the current time. Hops are
@@ -764,8 +959,7 @@ func (net *Network) route(src core.NodeID, h anr.Header, payload any, act int64)
 		}
 		cur = port.Remote
 	}
-	net.msgSeq++
-	msg := net.msgSeq
+	msg := net.nextMsg(src)
 	net.metrics.Packets++
 	hops := int64(h.HopCount())
 	net.metrics.HeaderBits += (hops + 1) * int64(net.pm.IDWidth()+1)
@@ -843,7 +1037,7 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 		var extraDelay core.Time
 		duplicate := false
 		if net.cfg.faults.Enabled() {
-			switch net.cfg.faults.Roll(net.faultRng) {
+			switch net.cfg.faults.Roll(net.faultSrc(cur)) {
 			case core.FaultDrop:
 				net.metrics.FaultDrops++
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDrop, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDrop.String()})
@@ -854,31 +1048,31 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultDup, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultDup.String()})
 			case core.FaultCorrupt:
 				net.metrics.FaultCorrupts++
-				payload = core.CorruptPayload(payload, net.faultRng)
+				payload = core.CorruptPayload(payload, net.faultSrc(cur))
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultCorrupt, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultCorrupt.String()})
 			case core.FaultJitter:
 				net.metrics.FaultJitters++
-				extraDelay = net.cfg.faults.JitterDelay(net.faultRng)
+				extraDelay = net.cfg.faults.JitterDelay(net.faultSrc(cur))
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultJitter, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultJitter.String()})
 			case core.FaultReorder:
 				// A reorder fault holds the packet back on the wire: the
 				// extra delay lets traffic sent later on the same link
 				// overtake it, which is what breaks the FIFO discipline.
 				net.metrics.FaultReorders++
-				extraDelay = net.cfg.faults.ReorderDelay(net.faultRng)
+				extraDelay = net.cfg.faults.ReorderDelay(net.faultSrc(cur))
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultReorder, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultReorder.String()})
 			case core.FaultSlowdown:
 				// A gray link: the packet is delivered intact, just late —
 				// the extra delay is >= 1, so a slowed hop always leaves the
 				// instant and never fuses into a zero-delay chain.
 				net.metrics.FaultSlowdowns++
-				extraDelay = net.cfg.faults.SlowdownDelay(net.faultRng, net.cfg.hwDelay)
+				extraDelay = net.cfg.faults.SlowdownDelay(net.faultSrc(cur), net.cfg.hwDelay)
 				net.cfg.sink.Record(trace.Event{Kind: trace.KindFaultSlow, Time: int64(net.now), Node: cur, Msg: msg, Cause: core.FaultSlowdown.String()})
 			}
 		}
 		net.metrics.Hops++
 		revBuf[len(revBuf)-2-i] = anr.Hop{Link: port.RemoteID}
-		at := net.now + net.hwDelayOnce() + extraDelay
+		at := net.now + net.hwDelayOnce(cur) + extraDelay
 		if at == net.now {
 			// Zero-delay hop: the packet is at the next subsystem already
 			// (at == now implies hwDelayOnce drew nothing: C <= 1 never
@@ -889,8 +1083,8 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 			// so both modes draw jitter at the same stream position.
 			if duplicate {
 				net.metrics.Hops++
-				dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
-				net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+				dupAt := net.now + net.hwDelayOnce(cur) + net.cfg.faults.JitterDelay(net.faultSrc(cur))
+				net.pushHop(dupAt, port.Remote, h, i+1, net.dupRev(revBuf), port.RemoteID, payload, msg)
 			}
 			if net.cfg.cutThrough {
 				net.stats.FusedHops++
@@ -914,8 +1108,8 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 		net.pushHop(at, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
 		if duplicate {
 			net.metrics.Hops++
-			dupAt := net.now + net.hwDelayOnce() + net.cfg.faults.JitterDelay(net.faultRng)
-			net.pushHop(dupAt, port.Remote, h, i+1, revBuf, port.RemoteID, payload, msg)
+			dupAt := net.now + net.hwDelayOnce(cur) + net.cfg.faults.JitterDelay(net.faultSrc(cur))
+			net.pushHop(dupAt, port.Remote, h, i+1, net.dupRev(revBuf), port.RemoteID, payload, msg)
 		}
 		return
 	}
@@ -930,6 +1124,17 @@ func (net *Network) pushHop(at core.Time, node core.NodeID, h anr.Header, i int,
 	r.arrivedOn = arrivedOn
 	r.payload = payload
 	r.msg = msg
+	if net.assign != nil && net.assign[node] != net.shardID {
+		// Boundary hop: the key is drawn here, at creation, from the origin
+		// node's canonical counter — the same position in the counter stream
+		// a single-shard run would draw it — and the record waits in the
+		// outbox until the window barrier hands it to the owning shard. Its
+		// arrival time is at least now + lookahead, so it lands strictly
+		// after the current window.
+		e := eventRec{t: at, seq: net.nextKey(), kind: evHop, rec: r}
+		net.outbox[net.assign[node]] = append(net.outbox[net.assign[node]], e)
+		return
+	}
 	net.push(at, evHop, r)
 }
 
