@@ -208,6 +208,46 @@ func BenchmarkGosimBroadcast1024(b *testing.B) {
 	}
 }
 
+// benchJitterBroadcast mirrors the bench artifact's JitterBroadcast rows:
+// a dense GNP flood under hardware delay c with every hop jittered up to 384
+// ticks — far past the historical 64-slot ring window — and NCU slowdowns
+// stretching the activation backlog. The auto-sized calendar ring keeps the
+// run at ~100% heap bypass; compare against the pre-batching spine with
+// sim.WithHopBatching(false) plus sim.WithRingWindow(64), which sends most
+// hops through a million-entry heap (see docs/PERF.md).
+func benchJitterBroadcast(b *testing.B, c core.Time, shards int) {
+	faults := core.MsgFaults{Jitter: 1, JitterMax: 384, Slowdown: 0.1, SlowFactor: 2, SlowMax: 512}
+	n := 1024
+	if testing.Short() {
+		n = 192 // same shape, CI-smoke sized
+	}
+	g := graph.GNP(n, 14.0/float64(n), 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := []sim.Option{sim.WithDelays(c, 1), sim.WithSeed(7), sim.WithMsgFaults(faults)}
+		if shards > 0 {
+			opts = append(opts, sim.WithShards(shards))
+		}
+		net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil), opts...)
+		recs := topology.RecordsForGraph(g, net.PortMap(), nil)
+		for u := 0; u < g.N(); u += 8 {
+			net.Protocol(core.NodeID(u)).(topology.Maintainer).Preload(recs)
+			net.Inject(core.Time(u%8), core.NodeID(u), topology.Trigger{})
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if net.Metrics().Deliveries == 0 {
+			b.Fatal("flood delivered nothing")
+		}
+	}
+}
+
+func BenchmarkJitterBroadcastC2(b *testing.B)       { benchJitterBroadcast(b, 2, 0) }
+func BenchmarkJitterBroadcastC8(b *testing.B)       { benchJitterBroadcast(b, 8, 0) }
+func BenchmarkJitterBroadcastC8Shard4(b *testing.B) { benchJitterBroadcast(b, 8, 4) }
+
 func BenchmarkElection1024(b *testing.B) {
 	g := graph.GNP(1024, 4.0/1024, 3)
 	starters := make([]core.NodeID, 1024)

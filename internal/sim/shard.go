@@ -160,6 +160,7 @@ func (net *Network) buildShards() {
 			scriptCtr: net.scriptCtr,
 			curOrigin: -1,
 		}
+		ch.initRing(ch.cfg.ringSize())
 		if net.tb != nil {
 			ch.tb = &traceBuf{}
 			ch.cfg.sink = ch.tb
@@ -187,22 +188,40 @@ func (net *Network) ownsNode(v core.NodeID) bool {
 }
 
 // nextEventTime is the earliest pending instant of this event core, or -1
-// when it is drained. Between windows the same-time lane is always empty and
-// the calendar ring is disabled in shard mode, so the heap head is the answer.
+// when it is drained: the minimum over the same-time lane and stage (both
+// normally empty between windows), the per-shard calendar ring (via the
+// occupancy bitmap's word-level scan), and the heap.
 func (net *Network) nextEventTime() core.Time {
-	if net.lane.len() > 0 {
+	if net.lane.len() > 0 || net.stage.len() > 0 {
 		return net.now
 	}
+	t := core.Time(-1)
 	if net.queue.len() > 0 {
-		return net.queue.evs[0].t
+		t = net.queue.evs[0].t
 	}
-	return -1
+	if r := net.nextRingInstant(); r >= 0 && (t < 0 || r < t) {
+		t = r
+	}
+	return t
 }
 
-// insertForeign adds a boundary event received at the barrier to the heap.
-// Its key was assigned by the sending shard from the origin node's canonical
-// counter, so heap order — not barrier arrival order — decides its place.
+// insertForeign adds a boundary event received at the barrier to this
+// shard's ring (in window) or heap. Its key was assigned by the sending
+// shard from the origin node's canonical counter, and shard-mode promotion
+// re-sorts ring slots by key, so neither tier nor barrier arrival order
+// decides its dispatch place — the canonical key does.
 func (net *Network) insertForeign(e eventRec) {
+	if e.t > net.now && e.t-net.now < net.ringSpan {
+		net.stats.RingPushes++
+		net.ring[e.t&net.ringMask].pushBack(e)
+		net.ringSet(e.t & net.ringMask)
+		net.ringPending++
+		if net.ringPending > net.stats.RingPeak {
+			net.stats.RingPeak = net.ringPending
+		}
+		return
+	}
+	net.stats.RingOverflows++
 	net.stats.HeapPushes++
 	net.queue.push(e)
 	if n := net.queue.len(); n > net.stats.HeapPeak {

@@ -13,7 +13,7 @@
 // (time, sequence), so scheduling one of the up-to-50M events of a run costs
 // no closure, no interface boxing, and no per-event heap allocation.
 //
-// Three fast paths apply the paper's own cost measure to the runtime
+// Four fast paths apply the paper's own cost measure to the runtime
 // itself. Cut-through switching executes contiguous zero-delay hardware
 // hops (C = 0, no jitter pending) in one tight loop inside a single event,
 // so simulator wall-clock scales with system-call complexity (NCU
@@ -21,19 +21,27 @@
 // docs/PERF.md for the design and its equivalence argument. A same-time
 // FIFO lane in front of the heap absorbs residual events scheduled for the
 // current instant (zero-delay activations, injections at now, clamped
-// pushes) without paying a heap sift, and a 64-slot calendar ring absorbs
-// near-future events (t - now < 64, which covers every schedule under the
-// default unit delays), leaving the heap only far-future overflow. All
-// three preserve the scheduler's strict (t, seq) dispatch order;
-// cutthrough_test.go proves fused and unfused executions produce identical
-// traces, metrics, and per-node vectors, and golden_test.go pins the event
-// stream byte for byte.
+// pushes) without paying a heap sift, and a calendar ring — auto-sized at
+// construction from the configured delay envelope (hardware C, software P,
+// fault jitter/reorder/slowdown bounds), regrown if SetMsgFaults widens it
+// — absorbs near-future events (t - now < ring window), leaving the heap
+// only far-future overflow. In the C >= 1 regime, where every hardware hop
+// leaves the current instant, ring-bound hop events that traverse the same
+// link at the same instant additionally coalesce into one scheduler entry
+// carrying a contiguous slab of hop records (the paper's "packets
+// pipelined on a link" priced at one scheduler touch). All four preserve
+// the scheduler's strict (t, seq) dispatch order; cutthrough_test.go and
+// batch_test.go prove the fused/batched and reference executions produce
+// identical traces, metrics, and per-node vectors, and golden_test.go pins
+// the event stream byte for byte.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"fastnet/internal/anr"
@@ -57,6 +65,8 @@ type config struct {
 	filter      core.HopFilter
 	faults      core.MsgFaults
 	cutThrough  bool
+	hopBatch    bool
+	ringWindow  int // 0 = auto-size from the delay envelope; > 0 = fixed (power of two, no auto growth)
 	shards      int // -1 = unset (use package default); 0 = classic; >= 1 = shard mode
 }
 
@@ -140,6 +150,53 @@ func WithCutThrough(on bool) Option {
 	return func(cf *config) { cf.cutThrough = on }
 }
 
+// hopBatchOff is the inverted package-wide default for (link, instant) hop
+// batching (inverted so the zero value means "on"). See SetDefaultHopBatching.
+var hopBatchOff atomic.Bool
+
+// SetDefaultHopBatching sets the hop-batching default applied to every
+// subsequently constructed Network (per-network WithHopBatching still wins).
+// Batching is on by default; differential tests and reference benchmarks
+// switch whole experiment or soak stacks — which construct their networks
+// internally — onto the one-event-per-hop path with it. Affects construction
+// only: existing networks keep their setting.
+func SetDefaultHopBatching(on bool) { hopBatchOff.Store(!on) }
+
+// WithHopBatching enables or disables (link, instant) hop batching for this
+// network. When on (the default), ring-bound hop events that traverse the
+// same link at the same instant coalesce into one scheduler entry carrying a
+// contiguous slab of hop records; when off, every hop is its own entry.
+// Batching preserves the scheduler's (t, seq) dispatch order exactly (see
+// docs/PERF.md for the proof), so all observables — traces, metrics,
+// per-node vectors, even Events() — are identical in both modes; only the
+// SchedStats push-split differs. batch_test.go enforces this.
+func WithHopBatching(on bool) Option {
+	return func(cf *config) { cf.hopBatch = on }
+}
+
+// defaultRingWin is the package-wide ring-window override applied at
+// construction when no per-network WithRingWindow is given; 0 (the initial
+// value) means auto-size. See SetDefaultRingWindow.
+var defaultRingWin atomic.Int64
+
+// SetDefaultRingWindow sets the calendar-ring window applied to every
+// subsequently constructed Network that does not carry an explicit
+// WithRingWindow (which still wins). 0 restores auto-sizing. Like
+// SetDefaultCutThrough it exists so reference benchmarks can pin whole
+// stacks to the historical fixed window from one flag.
+func SetDefaultRingWindow(n int) { defaultRingWin.Store(int64(n)) }
+
+// WithRingWindow fixes the calendar-ring span to n instants (rounded up to a
+// power of two, minimum minRingWindow), disabling the auto-sizer and the
+// SetMsgFaults regrowth. n = 0 restores auto-sizing. The window is pure
+// mechanism — any size yields byte-identical observables (events beyond the
+// window overflow to the heap, whose (t, seq) order the ring reproduces) —
+// so this knob exists for tests that force the overflow and spill paths and
+// for reference measurements against the historical 64-slot window.
+func WithRingWindow(n int) Option {
+	return func(cf *config) { cf.ringWindow = n }
+}
+
 // Network is a simulated network: a graph, one protocol instance per node,
 // and the event queue.
 type Network struct {
@@ -148,15 +205,21 @@ type Network struct {
 	cfg   config
 	queue eventHeap
 	lane  eventLane // same-time FIFO: events scheduled for now bypass the heap
+	stage eventLane // shard mode: the current instant's ring slot, promoted in key order
 
-	// Near-time calendar ring: events scheduled within ringWindow instants
-	// of now wait in the FIFO slot of their instant (slot t%ringWindow) and
-	// are promoted wholesale when the clock reaches them — under unit
-	// software delay almost every event lands here, so the heap sees only
-	// far-future schedules (timers, jittered retransmits, epoch scripts).
-	ring        [ringWindow]eventLane
-	ringPending int // total entries across ring slots
-	free  *rec      // free list of event payload records
+	// Near-time calendar ring: events scheduled within ringSpan instants of
+	// now wait in the FIFO slot of their instant (slot t & ringMask) and are
+	// promoted wholesale when the clock reaches them — the span is auto-sized
+	// from the delay envelope (or fixed by WithRingWindow) so that in steady
+	// state almost every event lands here and the heap sees only far-future
+	// schedules (timers, long stalls, epoch scripts).
+	ring        []eventLane
+	ringBits    []uint64  // slot-occupancy bitmap: bit s set iff ring[s] is nonempty
+	ringSpan    core.Time // len(ring), a power of two
+	ringMask    core.Time // ringSpan - 1
+	ringPending int       // total entries across ring slots
+	freeBatch   *hopBatch // free list of (link, instant) hop-batch slabs
+	free  *rec            // free list of event payload records
 	seq   uint64
 	now   core.Time
 	nodes    []node
@@ -242,6 +305,8 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		sink:        trace.Discard{},
 		eventBudget: 50_000_000,
 		cutThrough:  !cutThroughOff.Load(),
+		hopBatch:    !hopBatchOff.Load(),
+		ringWindow:  int(defaultRingWin.Load()),
 		shards:      -1,
 	}
 	for _, o := range opts {
@@ -262,6 +327,7 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 		perNode:  make([]int64, g.N()),
 		busy:     make([]core.Time, g.N()),
 	}
+	net.initRing(cfg.ringSize())
 	// One contiguous port arena for all nodes: each node's mutable port
 	// slice is a sub-slice (full-slice expression, so no append can bleed
 	// into a neighbor's ports), instead of one small allocation per node.
@@ -329,19 +395,22 @@ func (net *Network) Events() int64 {
 // core did and how much of it the same-time fast paths absorbed. They are
 // measurement only — no simulation result depends on them.
 type SchedStats struct {
-	Events     int64 // scheduler events dispatched (run-loop pops + unfused walk steps)
-	HeapPushes int64 // events that paid a heap sift
-	LanePushes int64 // events absorbed by the same-time FIFO lane (O(1))
-	RingPushes int64 // events absorbed by the near-time calendar ring (O(1))
-	FusedHops  int64 // hardware hops executed inline by cut-through, no event at all
-	HeapPeak   int   // high-water mark of the heap (pending future events)
+	Events        int64 // scheduler events dispatched (run-loop pops + unfused walk steps + batched hop records)
+	HeapPushes    int64 // events that paid a heap sift
+	LanePushes    int64 // events absorbed by the same-time FIFO lane (O(1))
+	RingPushes    int64 // events absorbed by the near-time calendar ring (O(1))
+	BatchedHops   int64 // hop records appended to an open (link, instant) batch — no scheduler entry at all
+	RingOverflows int64 // future events past the ring window that silently fell back to the heap
+	FusedHops     int64 // hardware hops executed inline by cut-through, no event at all
+	HeapPeak      int   // high-water mark of the heap (pending future events)
+	RingPeak      int   // high-water mark of the calendar ring's pending entries
 }
 
 // LaneHitRate is the fraction of scheduled events that bypassed the heap
-// (same-time lane or near-time ring).
+// (same-time lane, near-time ring, or a ride along an open hop batch).
 func (s SchedStats) LaneHitRate() float64 {
-	if total := s.HeapPushes + s.LanePushes + s.RingPushes; total > 0 {
-		return float64(s.LanePushes+s.RingPushes) / float64(total)
+	if total := s.HeapPushes + s.LanePushes + s.RingPushes + s.BatchedHops; total > 0 {
+		return float64(s.LanePushes+s.RingPushes+s.BatchedHops) / float64(total)
 	}
 	return 0
 }
@@ -358,20 +427,26 @@ func (s SchedStats) FusedHopsPerEvent() float64 {
 // String renders the counters in the one-line form the CLI surfaces
 // (`fastnet exp -v`, `fastnet soak -v`) print.
 func (s SchedStats) String() string {
-	return fmt.Sprintf("events=%d fused-hops=%d (%.2f/event) pushes(heap=%d lane=%d ring=%d) heap-bypass=%.1f%% heap-peak=%d",
+	return fmt.Sprintf("events=%d fused-hops=%d (%.2f/event) pushes(heap=%d lane=%d ring=%d batched=%d) heap-bypass=%.1f%% ring-overflows=%d peaks(heap=%d ring=%d)",
 		s.Events, s.FusedHops, s.FusedHopsPerEvent(),
-		s.HeapPushes, s.LanePushes, s.RingPushes, 100*s.LaneHitRate(), s.HeapPeak)
+		s.HeapPushes, s.LanePushes, s.RingPushes, s.BatchedHops,
+		100*s.LaneHitRate(), s.RingOverflows, s.HeapPeak, s.RingPeak)
 }
 
-// add accumulates o into s (HeapPeak by max).
+// add accumulates o into s (peaks by max).
 func (s *SchedStats) add(o SchedStats) {
 	s.Events += o.Events
 	s.HeapPushes += o.HeapPushes
 	s.LanePushes += o.LanePushes
 	s.RingPushes += o.RingPushes
+	s.BatchedHops += o.BatchedHops
+	s.RingOverflows += o.RingOverflows
 	s.FusedHops += o.FusedHops
 	if o.HeapPeak > s.HeapPeak {
 		s.HeapPeak = o.HeapPeak
+	}
+	if o.RingPeak > s.RingPeak {
+		s.RingPeak = o.RingPeak
 	}
 }
 
@@ -390,8 +465,8 @@ func (net *Network) SchedStats() SchedStats {
 // process, so stacks that construct networks internally (experiments, soak
 // campaigns) can still be observed; each run() flushes its delta on return.
 var globalStats struct {
-	events, heapPushes, lanePushes, ringPushes, fusedHops atomic.Int64
-	heapPeak                                              atomic.Int64
+	events, heapPushes, lanePushes, ringPushes, batchedHops, ringOverflows, fusedHops atomic.Int64
+	heapPeak, ringPeak                                                               atomic.Int64
 }
 
 // TakeGlobalSchedStats returns the process-wide scheduler counters
@@ -399,12 +474,25 @@ var globalStats struct {
 // reports these per invocation.
 func TakeGlobalSchedStats() SchedStats {
 	return SchedStats{
-		Events:     globalStats.events.Swap(0),
-		HeapPushes: globalStats.heapPushes.Swap(0),
-		LanePushes: globalStats.lanePushes.Swap(0),
-		RingPushes: globalStats.ringPushes.Swap(0),
-		FusedHops:  globalStats.fusedHops.Swap(0),
-		HeapPeak:   int(globalStats.heapPeak.Swap(0)),
+		Events:        globalStats.events.Swap(0),
+		HeapPushes:    globalStats.heapPushes.Swap(0),
+		LanePushes:    globalStats.lanePushes.Swap(0),
+		RingPushes:    globalStats.ringPushes.Swap(0),
+		BatchedHops:   globalStats.batchedHops.Swap(0),
+		RingOverflows: globalStats.ringOverflows.Swap(0),
+		FusedHops:     globalStats.fusedHops.Swap(0),
+		HeapPeak:      int(globalStats.heapPeak.Swap(0)),
+		RingPeak:      int(globalStats.ringPeak.Swap(0)),
+	}
+}
+
+// peakMax raises the atomic high-water mark p to at least v.
+func peakMax(p *atomic.Int64, v int64) {
+	for {
+		old := p.Load()
+		if v <= old || p.CompareAndSwap(old, v) {
+			return
+		}
 	}
 }
 
@@ -416,13 +504,11 @@ func (net *Network) flushGlobalStats() {
 	globalStats.heapPushes.Add(cur.HeapPushes - net.flushed.HeapPushes)
 	globalStats.lanePushes.Add(cur.LanePushes - net.flushed.LanePushes)
 	globalStats.ringPushes.Add(cur.RingPushes - net.flushed.RingPushes)
+	globalStats.batchedHops.Add(cur.BatchedHops - net.flushed.BatchedHops)
+	globalStats.ringOverflows.Add(cur.RingOverflows - net.flushed.RingOverflows)
 	globalStats.fusedHops.Add(cur.FusedHops - net.flushed.FusedHops)
-	for {
-		old := globalStats.heapPeak.Load()
-		if int64(cur.HeapPeak) <= old || globalStats.heapPeak.CompareAndSwap(old, int64(cur.HeapPeak)) {
-			break
-		}
-	}
+	peakMax(&globalStats.heapPeak, int64(cur.HeapPeak))
+	peakMax(&globalStats.ringPeak, int64(cur.RingPeak))
 	net.flushed = cur
 }
 
@@ -511,11 +597,124 @@ func (net *Network) InjectLink(u, v core.NodeID, up bool) {
 // pure function of the seed.
 func (net *Network) SetMsgFaults(f core.MsgFaults) {
 	net.cfg.faults = f
+	net.growRing(net.cfg.ringSize())
 	if net.group != nil {
 		for _, ch := range net.group.children {
 			ch.cfg.faults = f
+			ch.growRing(ch.cfg.ringSize())
 		}
 	}
+}
+
+// ringSize is the calendar-ring span for this configuration: a fixed
+// WithRingWindow wins; otherwise the span is sized so the one-hop delay
+// envelope — the farthest ahead of now any single schedule can land without
+// NCU queueing — fits with 4x headroom for queueing tails, rounded up to a
+// power of two within [minRingWindow, maxRingWindow]. The envelope is
+// hardware C plus the worst enabled fault surcharge (jitter, reorder hold,
+// or gray-link slowdown; duplicates always pay a jitter draw) plus software
+// P. Events beyond the span still run correctly — they overflow to the heap
+// (counted in SchedStats.RingOverflows) — so the size is pure mechanism.
+func (cf *config) ringSize() int {
+	if cf.ringWindow > 0 {
+		return roundRingWindow(cf.ringWindow)
+	}
+	env := cf.hwDelay
+	var extra core.Time
+	f := cf.faults
+	if f.Jitter > 0 || f.Dup > 0 {
+		extra = max(extra, max(1, f.JitterMax))
+	}
+	if f.Reorder > 0 {
+		extra = max(extra, max(1, f.ReorderWindow))
+	}
+	if f.Slowdown > 0 {
+		s := core.Time(1)
+		if f.SlowFactor > 1 {
+			s += core.Time(float64(cf.hwDelay) * (f.SlowFactor - 1))
+		}
+		if f.SlowMax > 1 {
+			s += f.SlowMax - 1
+		}
+		extra = max(extra, s)
+	}
+	env += extra + max(1, cf.swDelay)
+	return roundRingWindow(int(4 * env))
+}
+
+// roundRingWindow rounds n up to a power of two in [minRingWindow,
+// maxRingWindow]; powers of two make the slot index a mask.
+func roundRingWindow(n int) int {
+	w := minRingWindow
+	for w < n && w < maxRingWindow {
+		w <<= 1
+	}
+	return w
+}
+
+// initRing allocates the calendar ring at span w (a power of two >= 64, so
+// the occupancy bitmap is a whole number of words).
+func (net *Network) initRing(w int) {
+	net.ring = make([]eventLane, w)
+	net.ringBits = make([]uint64, w/64)
+	net.ringSpan = core.Time(w)
+	net.ringMask = core.Time(w - 1)
+}
+
+// ringSet marks slot idx occupied in the bitmap. Setting is idempotent, so
+// every ring push marks unconditionally; bits clear only when a slot drains
+// wholesale (promote, flushLanes, growRing's re-bucket).
+func (net *Network) ringSet(idx core.Time) { net.ringBits[idx>>6] |= 1 << (idx & 63) }
+
+// nextRingInstant returns the earliest pending calendar-ring instant, or -1
+// with nothing pending. Every pending instant lies in (now, now+span), and
+// slot order starting after now's slot — wrapping once — is instant order, so
+// a word-at-a-time scan of the occupancy bitmap finds the nearest set bit in
+// O(span/64) words instead of O(span) slot probes; on the sparse rings the
+// auto-sizer produces (large span, few distinct pending instants) the probe
+// loop is what used to dominate the clock advance.
+func (net *Network) nextRingInstant() core.Time {
+	if net.ringPending == 0 {
+		return -1
+	}
+	for dt := core.Time(1); dt <= net.ringSpan; {
+		idx := (net.now + dt) & net.ringMask
+		if w := net.ringBits[idx>>6] >> (idx & 63); w != 0 {
+			return net.now + dt + core.Time(bits.TrailingZeros64(w))
+		}
+		dt += 64 - (idx & 63)
+	}
+	return -1
+}
+
+// growRing widens the ring to span w, re-bucketing pending entries by their
+// stored time. Growth preserves dispatch order: every pending instant owns
+// exactly one old slot, distinct instants stay distinct modulo any larger
+// power of two, and each slot is drained FIFO — so per-instant entry order
+// (and any open batch's slot-tail position) carries over verbatim. The ring
+// never shrinks mid-run: an entry in a slot it could no longer reach from a
+// heap push would break the heap-before-ring sequence argument.
+func (net *Network) growRing(w int) {
+	if net.cfg.ringWindow > 0 || w <= len(net.ring) {
+		return
+	}
+	old := net.ring
+	net.initRing(w)
+	for s := range old {
+		for old[s].len() > 0 {
+			e := old[s].popFront()
+			net.ring[e.t&net.ringMask].pushBack(e)
+			net.ringSet(e.t & net.ringMask)
+		}
+	}
+}
+
+// RingWindow returns the current calendar-ring span in instants.
+func (net *Network) RingWindow() int {
+	if net.group != nil {
+		return len(net.group.children[0].ring)
+	}
+	return len(net.ring)
 }
 
 // MsgFaults returns the active lossy-link profile.
@@ -564,15 +763,19 @@ func (net *Network) runTop(deadline core.Time) (core.Time, error) {
 
 // run drains events in strict (t, seq) order from three tiers: the heap's
 // residue at the current instant (scheduled before the clock reached it, so
-// with the smallest sequence numbers), then the same-time FIFO lane (pushes
-// that arrived while now == t, in push — i.e. sequence — order), and only
-// then a clock advance to the earliest instant pending in the near-time
-// calendar ring or the heap. Pushes for the current instant always land in
-// the lane, so the heap never gains a t == now entry while the lane drains;
-// pushes within ringWindow of now land in the ring, so every heap entry for
-// an instant t predates — and therefore outranks by sequence — every ring
-// entry for t. The dispatch order is total and identical to a single
-// (t, seq) priority queue's.
+// — in classic mode — with the smallest sequence numbers), then the
+// same-time FIFO lane (pushes that arrived while now == t, in push — i.e.
+// sequence — order), and only then a clock advance to the earliest instant
+// pending in the near-time calendar ring or the heap. Pushes for the current
+// instant always land in the lane, so the heap never gains a t == now entry
+// while the lane drains; pushes within the ring window of now land in the
+// ring, so every heap entry for an instant t predates — and therefore
+// outranks by sequence — every ring entry for t. In shard mode, where
+// same-instant dispatch follows canonical keys rather than push order, the
+// promoted slot is sorted by key (the stage) and merged with the heap's
+// residue at t key by key — reproducing exactly the order a single heap
+// would pop. The dispatch order is total and identical to a single (t, seq)
+// priority queue's.
 func (net *Network) run(deadline core.Time) (core.Time, error) {
 	defer net.flushGlobalStats()
 	return net.runCore(deadline)
@@ -582,65 +785,50 @@ func (net *Network) run(deadline core.Time) (core.Time, error) {
 // (the per-run bookkeeping of run would be waste there).
 func (net *Network) runCore(deadline core.Time) (core.Time, error) {
 	defer func() { net.curOrigin = -1 }()
+	if deadline >= 0 && deadline < net.now {
+		// Backward RunUntil: spill the lane, stage, and ring into the heap —
+		// whose (t, seq) order keeps the entries correct for whenever the
+		// clock catches up — before the clock moves back. The spill is what
+		// keeps the ring's one-instant-per-slot invariant: entries retained
+		// across a backward move could collide with later pushes whose
+		// instants alias the same slot.
+		net.flushLanes()
+		net.now = deadline
+		return net.metrics.FinishTime, nil
+	}
 	for {
 		var ev eventRec
 		switch {
-		case net.queue.len() > 0 && net.queue.evs[0].t == net.now:
-			// Entering run with now past the deadline can't reach here: heap
-			// entries at t == now only exist while the clock sits at an
-			// instant it advanced to (or pushes clamped to) inside this loop.
+		case net.queue.len() > 0 && net.queue.evs[0].t == net.now &&
+			(net.stage.len() == 0 || net.queue.evs[0].seq < net.stage.front().seq):
 			ev = net.queue.pop()
+		case net.stage.len() > 0:
+			ev = net.stage.popFront()
 		case net.lane.len() > 0:
-			if deadline >= 0 && net.now > deadline {
-				// Deadline behind the lane's instant (a backward RunUntil):
-				// spill the lanes into the heap, where (t, seq) ordering
-				// keeps the entries correct for whenever the clock catches
-				// up.
-				net.flushLanes()
-				net.now = deadline
-				return net.metrics.FinishTime, nil
-			}
 			ev = net.lane.popFront()
 		case net.ringPending > 0 || net.queue.len() > 0:
 			// Advance the clock to the earliest pending instant across the
-			// calendar ring and the heap. At equal times the heap pops
-			// first: its entries were pushed while now <= t-ringWindow, so
-			// they carry strictly smaller sequence numbers than any ring
-			// entry for the same instant (pushed while now > t-ringWindow).
-			tRing := core.Time(-1)
-			if net.ringPending > 0 {
-				for dt := core.Time(0); ; dt++ {
-					if net.ring[(net.now+dt)%ringWindow].len() > 0 {
-						tRing = net.now + dt
-						break
-					}
-				}
+			// calendar ring and the heap, then loop again: the tier cases
+			// above drain that instant in (t, seq) order — heap residue
+			// first in classic mode (pushed while now <= t-window, so with
+			// strictly smaller sequence numbers than any ring entry for t),
+			// key-merged with the sorted stage in shard mode.
+			tNext := net.nextRingInstant()
+			if net.queue.len() > 0 && (tNext < 0 || net.queue.evs[0].t < tNext) {
+				tNext = net.queue.evs[0].t
 			}
-			if net.queue.len() > 0 && (tRing < 0 || net.queue.evs[0].t <= tRing) {
-				if deadline >= 0 && net.queue.evs[0].t > deadline {
-					net.now = deadline
-					return net.metrics.FinishTime, nil
-				}
-				ev = net.queue.pop()
-				net.now = ev.t
-				break
-			}
-			if deadline >= 0 && tRing > deadline {
-				// Deadline before the ring's earliest instant (including a
-				// backward RunUntil): spill the ring into the heap, where
-				// (t, seq) ordering keeps the entries correct for whenever
-				// the clock catches up.
-				net.flushLanes()
+			if deadline >= 0 && tNext > deadline {
+				// Forward cut: stop the clock at the deadline. Pending ring
+				// entries stay put — their instants only get closer, so the
+				// slot invariant holds — and the next run picks them up.
 				net.now = deadline
 				return net.metrics.FinishTime, nil
 			}
-			// Promote the slot wholesale: the same-time lane is empty here
-			// and its backing array is reused as the slot's next generation.
-			net.now = tRing
-			slot := &net.ring[net.now%ringWindow]
-			net.lane, *slot = *slot, net.lane
-			net.ringPending -= net.lane.len()
-			ev = net.lane.popFront()
+			net.now = tNext
+			if net.ringPending > 0 && net.ring[tNext&net.ringMask].len() > 0 {
+				net.promote(tNext)
+			}
+			continue
 		default:
 			return net.metrics.FinishTime, nil
 		}
@@ -652,8 +840,29 @@ func (net *Network) runCore(deadline core.Time) (core.Time, error) {
 	}
 }
 
-// flushLanes spills pending lane entries (same-time lane and calendar ring) into
-// the heap. Only the backward-deadline return path needs it: everywhere else
+// promote moves the ring slot of instant t in front of the heap. Classic
+// mode swaps it into the same-time lane wholesale (slot FIFO order is push —
+// i.e. sequence — order, and the empty lane's backing array is reused as the
+// slot's next generation). Shard mode sorts the slot by canonical key into
+// the stage, which runCore merges with the heap's residue at t key by key;
+// same-instant creations during t still go to the lane, which drains only
+// after stage and heap — the canonical "pre-created in key order, then
+// creations in creation order" stream of the pre-ring shard scheduler.
+func (net *Network) promote(t core.Time) {
+	slot := &net.ring[t&net.ringMask]
+	net.ringBits[(t&net.ringMask)>>6] &^= 1 << (t & net.ringMask & 63)
+	if net.shardMode {
+		net.stage, *slot = *slot, net.stage
+		net.ringPending -= net.stage.len()
+		net.stage.sortBySeq()
+		return
+	}
+	net.lane, *slot = *slot, net.lane
+	net.ringPending -= net.lane.len()
+}
+
+// flushLanes spills pending lane, stage, and calendar-ring entries into the
+// heap. Only the backward-deadline return path needs it: everywhere else
 // the lanes drain before the clock moves past them. Entries keep their
 // stored (t, seq), so heap ordering stays correct for whenever the clock
 // catches up.
@@ -661,12 +870,16 @@ func (net *Network) flushLanes() {
 	for net.lane.len() > 0 {
 		net.queue.push(net.lane.popFront())
 	}
+	for net.stage.len() > 0 {
+		net.queue.push(net.stage.popFront())
+	}
 	for s := range net.ring {
 		for net.ring[s].len() > 0 {
 			net.queue.push(net.ring[s].popFront())
 			net.ringPending--
 		}
 	}
+	clear(net.ringBits)
 }
 
 // dispatch consumes one popped event. Union fields are copied out and the
@@ -681,6 +894,22 @@ func (net *Network) dispatch(ev eventRec) {
 		net.freeRec(r)
 		net.curOrigin = int32(nodeID)
 		net.stepHop(nodeID, h, i, revBuf, arrivedOn, payload, msg)
+	case evHopBatch:
+		// One scheduler entry, a run of hop records over one (link, instant):
+		// step them in append order — their (t, seq) dispatch order — while
+		// streaming the store's contiguous slab. Each record counts as an
+		// event (the loop's pop counted the first), so Events() is identical
+		// to the unbatched scheduler's.
+		b := r.batch
+		net.freeRec(r)
+		net.curOrigin = int32(b.node)
+		node, arrivedOn := b.node, b.arrivedOn
+		net.eventCount += int64(len(b.recs)) - 1
+		for j := range b.recs {
+			hr := &b.recs[j]
+			net.stepHop(node, hr.h, int(hr.hopIdx), hr.rev, arrivedOn, hr.payload, hr.msg)
+		}
+		net.freeBatchSlab(b)
 	case evActivation:
 		nodeID, pkt, msg, isCopy := r.node, r.pkt, r.msg, r.isCopy
 		net.freeRec(r)
@@ -758,12 +987,15 @@ func (net *Network) dispatch(ev eventRec) {
 // the current instant skip the heap entirely: they go to the same-time FIFO
 // lane, which run drains in push order — exactly their (t, seq) order,
 // since every heap entry at t == now predates every lane entry (the heap
-// can only have gained it while now < t). Events within ringWindow of now —
-// under unit delays, nearly every schedule — likewise skip the heap via the
-// near-time calendar ring's per-instant FIFO slots, which run promotes when
-// the clock reaches them; a heap entry for the same instant was pushed while
-// now <= t-ringWindow and so carries a strictly smaller sequence number,
-// which the promotion honors by letting the heap drain that instant first.
+// can only have gained it while now < t). Events within the ring window of
+// now — nearly every schedule, since the window is sized from the delay
+// envelope — likewise skip the heap via the near-time calendar ring's
+// per-instant FIFO slots, which run promotes when the clock reaches them; a
+// heap entry for the same instant was pushed while now <= t-window and so
+// carries a strictly smaller sequence number, which the promotion honors by
+// letting the heap drain that instant first. In shard mode the slot is
+// sorted by canonical key at promotion (see promote), so the per-instant
+// FIFO's push order never shows and per-shard rings stay exact.
 func (net *Network) push(t core.Time, kind uint8, r *rec) {
 	if t < net.now {
 		t = net.now
@@ -774,17 +1006,17 @@ func (net *Network) push(t core.Time, kind uint8, r *rec) {
 		net.lane.pushBack(e)
 		return
 	}
-	// The calendar ring is a per-instant FIFO: correct for the classic
-	// scheduler's global push order, but shard mode dispatches same-instant
-	// events in canonical key order — which only the heap provides (the
-	// same-time lane stays valid: its entries are all created at the current
-	// instant by this shard, in key order).
-	if !net.shardMode && t-net.now < ringWindow {
+	if t-net.now < net.ringSpan {
 		net.stats.RingPushes++
-		net.ring[t%ringWindow].pushBack(e)
+		net.ring[t&net.ringMask].pushBack(e)
+		net.ringSet(t & net.ringMask)
 		net.ringPending++
+		if net.ringPending > net.stats.RingPeak {
+			net.stats.RingPeak = net.ringPending
+		}
 		return
 	}
+	net.stats.RingOverflows++
 	net.stats.HeapPushes++
 	net.queue.push(e)
 	if n := net.queue.len(); n > net.stats.HeapPeak {
@@ -1116,6 +1348,84 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 }
 
 func (net *Network) pushHop(at core.Time, node core.NodeID, h anr.Header, i int, revBuf anr.Header, arrivedOn anr.ID, payload any, msg int64) {
+	if net.assign != nil && net.assign[node] != net.shardID {
+		// Boundary hop: the key is drawn here, at creation, from the origin
+		// node's canonical counter — the same position in the counter stream
+		// a single-shard run would draw it — and the record waits in the
+		// outbox until the window barrier hands it to the owning shard. Its
+		// arrival time is at least now + lookahead, so it lands strictly
+		// after the current window.
+		r := net.newRec()
+		r.node = node
+		r.h = h
+		r.hopIdx = int32(i)
+		r.rev = revBuf
+		r.arrivedOn = arrivedOn
+		r.payload = payload
+		r.msg = msg
+		e := eventRec{t: at, seq: net.nextKey(), kind: evHop, rec: r}
+		net.outbox[net.assign[node]] = append(net.outbox[net.assign[node]], e)
+		return
+	}
+	if net.cfg.hopBatch && at > net.now && at-net.now < net.ringSpan {
+		// Ring-bound hop: coalesce per (link, instant). The key is drawn
+		// unconditionally — batching must not perturb the shard-mode key
+		// streams — and the record may ride along an open batch at the tail
+		// of its slot instead of becoming a scheduler entry of its own.
+		// Appending is sound only at the slot tail: the batch dispatches at
+		// its first record's (t, seq) position, and a tail run is exactly
+		// the run of entries the unbatched scheduler would pop there (any
+		// event sequenced between two members lives at another instant). In
+		// shard mode the slot is re-sorted by key at promotion, so members
+		// must additionally be key-contiguous — a contiguous key range no
+		// other event's key can sort into, which only consecutive draws of
+		// one origin node produce.
+		seq := net.nextKey()
+		slot := &net.ring[at&net.ringMask]
+		if n := len(slot.evs); n > slot.head {
+			last := &slot.evs[n-1]
+			if last.t == at {
+				switch last.kind {
+				case evHopBatch:
+					if b := last.rec.batch; b.node == node && b.arrivedOn == arrivedOn &&
+						(!net.shardMode || seq == b.lastSeq+1) {
+						b.append(h, int32(i), revBuf, payload, msg)
+						b.lastSeq = seq
+						net.stats.BatchedHops++
+						return
+					}
+				case evHop:
+					if r := last.rec; r.node == node && r.arrivedOn == arrivedOn &&
+						(!net.shardMode || seq == last.seq+1) {
+						b := net.newBatch(node, arrivedOn)
+						b.append(r.h, r.hopIdx, r.rev, r.payload, r.msg)
+						b.append(h, int32(i), revBuf, payload, msg)
+						b.lastSeq = seq
+						*r = rec{next: r.next, batch: b}
+						last.kind = evHopBatch
+						net.stats.BatchedHops++
+						return
+					}
+				}
+			}
+		}
+		r := net.newRec()
+		r.node = node
+		r.h = h
+		r.hopIdx = int32(i)
+		r.rev = revBuf
+		r.arrivedOn = arrivedOn
+		r.payload = payload
+		r.msg = msg
+		net.stats.RingPushes++
+		slot.pushBack(eventRec{t: at, seq: seq, kind: evHop, rec: r})
+		net.ringSet(at & net.ringMask)
+		net.ringPending++
+		if net.ringPending > net.stats.RingPeak {
+			net.stats.RingPeak = net.ringPending
+		}
+		return
+	}
 	r := net.newRec()
 	r.node = node
 	r.h = h
@@ -1124,17 +1434,6 @@ func (net *Network) pushHop(at core.Time, node core.NodeID, h anr.Header, i int,
 	r.arrivedOn = arrivedOn
 	r.payload = payload
 	r.msg = msg
-	if net.assign != nil && net.assign[node] != net.shardID {
-		// Boundary hop: the key is drawn here, at creation, from the origin
-		// node's canonical counter — the same position in the counter stream
-		// a single-shard run would draw it — and the record waits in the
-		// outbox until the window barrier hands it to the owning shard. Its
-		// arrival time is at least now + lookahead, so it lands strictly
-		// after the current window.
-		e := eventRec{t: at, seq: net.nextKey(), kind: evHop, rec: r}
-		net.outbox[net.assign[node]] = append(net.outbox[net.assign[node]], e)
-		return
-	}
 	net.push(at, evHop, r)
 }
 
@@ -1183,7 +1482,60 @@ const (
 	evInject                  // external injection arrives at a node
 	evLinkFlip                // scripted hardware link state change
 	evHop                     // packet arrives at a switching subsystem mid-route
+	evHopBatch                // a run of hops traversing one link at one instant
 )
+
+// hopBatch is the slab store behind one evHopBatch entry: the per-record
+// fields of a run of hops that traverse the same link at the same instant,
+// held in one contiguous array so dispatch streams through sequential
+// header/port/msg memory instead of pop-and-free cycling one pooled record
+// and one scheduler entry per hop. The shared coordinates (destination node,
+// arrival port, instant) are factored out; lastSeq is the key of the newest
+// member, which shard mode uses to enforce key-contiguity. Slabs are pooled
+// on the owning network and their capacity survives recycling.
+type hopRec struct {
+	h       anr.Header
+	rev     anr.Header
+	payload any
+	msg     int64
+	hopIdx  int32
+}
+
+type hopBatch struct {
+	node      core.NodeID
+	arrivedOn anr.ID
+	lastSeq   uint64
+
+	recs []hopRec
+
+	next *hopBatch // free-list link
+}
+
+func (b *hopBatch) append(h anr.Header, hopIdx int32, rev anr.Header, payload any, msg int64) {
+	b.recs = append(b.recs, hopRec{h: h, hopIdx: hopIdx, rev: rev, payload: payload, msg: msg})
+}
+
+func (net *Network) newBatch(node core.NodeID, arrivedOn anr.ID) *hopBatch {
+	b := net.freeBatch
+	if b != nil {
+		net.freeBatch = b.next
+		b.next = nil
+	} else {
+		b = &hopBatch{recs: make([]hopRec, 0, 8)}
+	}
+	b.node, b.arrivedOn = node, arrivedOn
+	return b
+}
+
+// freeBatchSlab drops the references a dispatched batch pinned and returns
+// the slab — truncated, capacity kept — to the free list.
+func (net *Network) freeBatchSlab(b *hopBatch) {
+	clear(b.recs)
+	b.recs = b.recs[:0]
+	b.lastSeq = 0
+	b.next = net.freeBatch
+	net.freeBatch = b
+}
 
 // rec carries the payload of one scheduled event. Records are pooled on a
 // free list: dispatch copies the fields out and recycles the record before
@@ -1213,16 +1565,33 @@ type rec struct {
 	rev       anr.Header
 	arrivedOn anr.ID
 
+	// evHopBatch
+	batch *hopBatch
+
 	next *rec // free-list link
 }
 
+// recChunk is the free list's refill quantum. Records are carved from
+// contiguous chunks rather than allocated one by one: a heavy-jitter C >= 1
+// run keeps hundreds of thousands of records in flight, and carving them
+// individually made the allocator and the garbage collector's per-object
+// bookkeeping a measurable slice of the event loop. Chunks are never
+// returned — the free list reaches its high-water mark once and recycles
+// from then on, same as before, just in 256-record strides.
+const recChunk = 256
+
 func (net *Network) newRec() *rec {
-	if r := net.free; r != nil {
-		net.free = r.next
-		r.next = nil
-		return r
+	if net.free == nil {
+		chunk := make([]rec, recChunk)
+		for i := range chunk[:recChunk-1] {
+			chunk[i].next = &chunk[i+1]
+		}
+		net.free = &chunk[0]
 	}
-	return &rec{}
+	r := net.free
+	net.free = r.next
+	r.next = nil
+	return r
 }
 
 // freeRec zeroes the record (dropping any references it pinned) and returns
@@ -1260,18 +1629,31 @@ type eventLane struct {
 	head int
 }
 
-// ringWindow is the span of the near-time calendar ring: events scheduled
-// for t with t - now < ringWindow wait in the FIFO slot t % ringWindow
-// instead of the heap. Under the model's unit-delay defaults (C <= 1,
-// P = 1) nearly all schedules — activations, NCU queueing tails, small
-// jitters — land inside the window, so the heap degenerates to a far-future
-// overflow structure. The window must stay small enough that scanning it for
-// the next nonempty slot is cheap; 64 slots cover NCU backlogs two orders of
-// magnitude beyond the defaults while the scan stays within one cache line
-// of lane headers per step.
-const ringWindow = 64
+// Bounds of the near-time calendar ring's span: events scheduled for t with
+// t - now < span wait in the FIFO slot t & (span-1) instead of the heap.
+// The span is auto-sized from the configured delay envelope (see
+// config.ringSize) so that C >= 1 and heavy-jitter runs keep the same ~100%
+// heap-bypass rate the unit-delay defaults get from the 64-slot minimum —
+// which alone covers NCU backlogs two orders of magnitude beyond those
+// defaults. The cap bounds both memory (a few hundred KB of lane headers)
+// and the clock-advance scan, which walks at most span slots; envelopes
+// beyond it overflow to the heap and are counted in SchedStats.RingOverflows.
+const (
+	minRingWindow = 64
+	maxRingWindow = 8192
+)
 
 func (l *eventLane) len() int { return len(l.evs) - l.head }
+
+// front returns the next entry without popping it.
+func (l *eventLane) front() eventRec { return l.evs[l.head] }
+
+// sortBySeq orders the pending entries by sequence key — used by shard-mode
+// slot promotion, where canonical keys, not push order, decide dispatch.
+func (l *eventLane) sortBySeq() {
+	evs := l.evs[l.head:]
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+}
 
 func (l *eventLane) pushBack(e eventRec) { l.evs = append(l.evs, e) }
 

@@ -126,14 +126,20 @@ type Result struct {
 	// flow endpoints — the relays whose processors the paper's designs
 	// off-load.
 	MaxTransitUtilization float64
+	// Sched is the scheduler's own cost profile for the run (heap bypass,
+	// hop batching, ring occupancy) — the observability hook for the C >= 1
+	// hot path this engine lives on.
+	Sched sim.SchedStats
 }
 
 // Run pushes every flow's packets through the network under the given
-// discipline with delays (C, P) and returns the cost profile.
-func Run(g *graph.Graph, flows []Flow, d Discipline, c, p core.Time) (Result, error) {
+// discipline with delays (C, P) and returns the cost profile. Extra options
+// (fault injection, sharding, scheduler knobs) are appended to the network's
+// build options, so fault-load traffic studies reuse this driver.
+func Run(g *graph.Graph, flows []Flow, d Discipline, c, p core.Time, extra ...sim.Option) (Result, error) {
 	net := sim.New(g, func(id core.NodeID) core.Protocol {
 		return &node{id: id}
-	}, sim.WithDelays(c, p), sim.WithDmax(g.N()))
+	}, append([]sim.Option{sim.WithDelays(c, p), sim.WithDmax(g.N())}, extra...)...)
 	type route struct {
 		links []anr.ID
 	}
@@ -159,7 +165,7 @@ func Run(g *graph.Graph, flows []Flow, d Discipline, c, p core.Time) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Discipline: d, Metrics: net.Metrics()}
+	res := Result{Discipline: d, Metrics: net.Metrics(), Sched: net.SchedStats()}
 	for i, f := range flows {
 		nd, ok := net.Protocol(f.Dst).(*node)
 		if !ok {
