@@ -17,6 +17,7 @@ import (
 	"fastnet/internal/globalfn"
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
+	"fastnet/internal/load"
 	"fastnet/internal/paths"
 	"fastnet/internal/reliable"
 	"fastnet/internal/sim"
@@ -113,6 +114,19 @@ func BenchmarkE23Gray(b *testing.B) {
 		return
 	}
 	benchSpec(b, "E23")
+}
+
+// E24 is a 12-run rate sweep plus two bisection probes; short mode
+// benchmarks one capped open-loop run (ledger invariant included) instead.
+func BenchmarkE24OpenLoop(b *testing.B) {
+	if testing.Short() {
+		benchOpenLoop(b, load.Config{
+			Seed: 7, Calls: 5000, Rate: 1, Holding: 200, Zipf: 1.1,
+			NCUCap: 8, Capacity: core.Capacity{NCUQueue: 16},
+		})
+		return
+	}
+	benchSpec(b, "E24")
 }
 
 // benchSoak runs one soak config per iteration on E20/E21's fabric.
@@ -247,6 +261,53 @@ func benchJitterBroadcast(b *testing.B, c core.Time, shards int) {
 func BenchmarkJitterBroadcastC2(b *testing.B)       { benchJitterBroadcast(b, 2, 0) }
 func BenchmarkJitterBroadcastC8(b *testing.B)       { benchJitterBroadcast(b, 8, 0) }
 func BenchmarkJitterBroadcastC8Shard4(b *testing.B) { benchJitterBroadcast(b, 8, 4) }
+
+// benchOpenLoop runs one open-loop load-plane scenario per iteration on a
+// GNP-1024 fabric, checking the exactly-once ledger and that the record pool
+// engaged (allocations bounded by pool chunks, not by generated calls).
+// Mirrors `fastnet bench`'s OpenLoop* rows; short mode scales a million
+// generated calls down to a hundred thousand.
+func benchOpenLoop(b *testing.B, cfg load.Config) {
+	g := graph.GNP(1024, 6.0/1024, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := load.Run(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Generated != s.Delivered+s.Blocked+s.Dropped {
+			b.Fatalf("ledger leak: gen=%d del=%d blk=%d drp=%d",
+				s.Generated, s.Delivered, s.Blocked, s.Dropped)
+		}
+		if int64(s.PoolChunks*1024) > s.Generated {
+			b.Fatalf("record pool not engaged: %d pooled records for %d calls",
+				s.PoolChunks*1024, s.Generated)
+		}
+	}
+}
+
+func openLoopCalls() int {
+	if testing.Short() {
+		return 100_000
+	}
+	return 1_000_000
+}
+
+func BenchmarkOpenLoopPoisson(b *testing.B) {
+	benchOpenLoop(b, load.Config{Seed: 1, Calls: openLoopCalls(), Rate: 4, Holding: 256})
+}
+
+func BenchmarkOpenLoopBurst(b *testing.B) {
+	benchOpenLoop(b, load.Config{Seed: 1, Calls: openLoopCalls(), Rate: 4, BurstFactor: 8, Holding: 256})
+}
+
+func BenchmarkOpenLoopZipf(b *testing.B) {
+	benchOpenLoop(b, load.Config{
+		Seed: 1, Calls: openLoopCalls(), Rate: 4, Zipf: 1.2, Holding: 256, NCUCap: 64,
+		Capacity: core.Capacity{NCUQueue: 64, LinkRate: 2, LinkBurst: 8},
+	})
+}
 
 func BenchmarkElection1024(b *testing.B) {
 	g := graph.GNP(1024, 4.0/1024, 3)

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"fastnet/internal/experiments"
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
+	"fastnet/internal/load"
 	"fastnet/internal/reliable"
 	"fastnet/internal/sim"
 	"fastnet/internal/topology"
@@ -33,6 +35,10 @@ type benchRow struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  int64   `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// CallsPerOp/CallsPerSec are reported by the open-loop load-plane rows:
+	// calls generated per iteration and the sustained generation throughput.
+	CallsPerOp  int64   `json:"calls_per_op,omitempty"`
+	CallsPerSec float64 `json:"calls_per_sec,omitempty"`
 	// MaxProcs is GOMAXPROCS at measurement time, per row: the sharded rows
 	// raise it to use all cores, and a throughput number is meaningless
 	// without knowing how many cores it was allowed to use.
@@ -63,6 +69,8 @@ func runBench(args []string) error {
 	outPath := fs.String("o", "", "output path (default BENCH_<date>.json)")
 	idList := fs.String("ids", "all", "comma-separated experiment IDs to benchmark, 'all', or 'none'")
 	micro := fs.Bool("micro", true, "include the event-core micro benchmarks (events/sec)")
+	runFilter := fs.String("run", "", "regexp selecting benchmark names (filters experiment IDs, micro cases, and -from rows)")
+	list := fs.Bool("list", false, "print every benchmark name this machine would run, then exit")
 	compare := fs.String("compare", "", "baseline BENCH_<date>.json to diff against (after writing the artifact)")
 	threshold := fs.Float64("threshold", 10, "ns/op regression tolerance for -compare, in percent; exceeding it exits nonzero")
 	requireAll := fs.Bool("require-all", false, "with -compare, fail when a baseline benchmark is missing from the new run")
@@ -70,6 +78,33 @@ func runBench(args []string) error {
 	reference := fs.Bool("reference", false, "pin every network to the pre-batching scheduler (hop batching off, fixed 64-slot ring) to produce an unbatched baseline artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// -run narrows every benchmark source by name: experiment IDs, micro
+	// cases, and (in -from mode) the loaded artifact's rows. An unfiltered
+	// run keeps the full set, so -compare -require-all still audits complete
+	// coverage; with a filter, coverage is required only of the selection.
+	match := func(string) bool { return true }
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			return fmt.Errorf("-run: %w", err)
+		}
+		match = re.MatchString
+	}
+	if *list {
+		for _, s := range experiments.All() {
+			if match(s.ID) {
+				fmt.Println(s.ID)
+			}
+		}
+		if *micro {
+			for _, c := range microCases() {
+				if match(c.name) {
+					fmt.Println(c.name)
+				}
+			}
+		}
+		return nil
 	}
 	var notes []string
 	if *reference {
@@ -100,7 +135,13 @@ func runBench(args []string) error {
 		if err := json.Unmarshal(data, &fresh); err != nil {
 			return fmt.Errorf("%s: %w", *from, err)
 		}
-		return compareBaseline(fresh.Benchmarks, *compare, *threshold, *requireAll)
+		kept := fresh.Benchmarks[:0]
+		for _, r := range fresh.Benchmarks {
+			if match(r.Name) {
+				kept = append(kept, r)
+			}
+		}
+		return compareBaseline(kept, *compare, *threshold, *requireAll, match)
 	}
 
 	var ids []string
@@ -124,6 +165,9 @@ func runBench(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try 'fastnet list')", id)
 		}
+		if !match(spec.ID) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.ID)
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
@@ -142,11 +186,16 @@ func runBench(args []string) error {
 	}
 
 	if *micro {
-		microRows, err := benchMicro()
-		if err != nil {
-			return err
+		for _, c := range microCases() {
+			if !match(c.name) {
+				continue
+			}
+			row, err := c.run()
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, microRows...)
 	}
 
 	out := benchFile{
@@ -169,7 +218,7 @@ func runBench(args []string) error {
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(rows), path)
 	if *compare != "" {
-		return compareBaseline(rows, *compare, *threshold, *requireAll)
+		return compareBaseline(rows, *compare, *threshold, *requireAll, match)
 	}
 	return nil
 }
@@ -183,8 +232,10 @@ func runBench(args []string) error {
 // baseline are reported but never fail the comparison; baseline benchmarks
 // absent from the NEW run are silent drift — a renamed or dropped benchmark
 // would otherwise stop being tracked without anyone noticing — so requireAll
-// turns them into an error.
-func compareBaseline(rows []benchRow, path string, threshold float64, requireAll bool) error {
+// turns them into an error. match narrows which baseline rows count as
+// missing, so a -run-filtered comparison only demands coverage of the
+// selection it actually ran.
+func compareBaseline(rows []benchRow, path string, threshold float64, requireAll bool, match func(string) bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -220,7 +271,7 @@ func compareBaseline(rows []benchRow, path string, threshold float64, requireAll
 	}
 	var missing []string
 	for _, b := range base.Benchmarks {
-		if !newBy[b.Name] {
+		if match(b.Name) && !newBy[b.Name] {
 			missing = append(missing, b.Name)
 			fmt.Printf("  %-22s %45s\n", b.Name, "(missing from new run)")
 		}
@@ -252,47 +303,99 @@ func newRow(name string, r testing.BenchmarkResult, eventsPerOp int64) benchRow 
 	return row
 }
 
-// benchMicro measures the event core directly: the same hot-substrate
-// scenarios as bench_test.go's micro benchmarks, plus the scheduler's
-// dispatch count so the artifact records events/sec throughput.
-func benchMicro() ([]benchRow, error) {
-	var rows []benchRow
+// microCase is one named event-core micro benchmark. The registry form
+// exists so -run can select cases and -list can enumerate them, with every
+// workload built lazily inside its run closure — a filtered invocation pays
+// for nothing it skips.
+type microCase struct {
+	name string
+	run  func() (benchRow, error)
+}
 
-	broadcast := func(name string, g *graph.Graph, mode topology.Mode, wantCovered int) error {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
-		var events int64
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := topology.SingleBroadcast(g, 0, mode)
-				if err != nil {
-					benchErr = err
-					b.FailNow()
-				}
-				if wantCovered > 0 && res.Covered != wantCovered {
-					benchErr = fmt.Errorf("covered %d of %d nodes", res.Covered, wantCovered)
-					b.FailNow()
-				}
-				events = res.Events
+// microCases enumerates the event-core micro benchmarks: the same
+// hot-substrate scenarios as bench_test.go's micro benchmarks, plus the
+// scheduler's dispatch count so the artifact records events/sec throughput.
+// Names are stable artifact keys (compareBaseline matches on them), so
+// renaming one is a tracked-history break, not a refactor.
+func microCases() []microCase {
+	cases := []microCase{
+		{"SingleBroadcast4096", func() (benchRow, error) {
+			return benchBroadcast("SingleBroadcast4096", graph.RandomTree(4096, 2), topology.ModeBranching, 4095)
+		}},
+		// wantCovered 0 skips the coverage assertion: sparse GNP graphs need
+		// not be connected, and the flood's cost is what is being measured.
+		{"Flood1024", func() (benchRow, error) {
+			return benchBroadcast("Flood1024", graph.GNP(1024, 4.0/1024, 3), topology.ModeFlood, 0)
+		}},
+		{"Election1024", benchElection},
+		{"GosimBroadcast1024", benchGosim},
+		{"DBRouteWarm", func() (benchRow, error) { return benchRoute("DBRouteWarm", false) }},
+		{"DBRouteCold", func() (benchRow, error) { return benchRoute("DBRouteCold", true) }},
+		{"ReliableAdaptive", func() (benchRow, error) { return benchFunc("ReliableAdaptive", runReliableAdaptive) }},
+		{"DetectorPhi", func() (benchRow, error) { return benchFunc("DetectorPhi", runDetectorPhi) }},
+		{"JitterBroadcastC2", func() (benchRow, error) { return benchJitter("JitterBroadcastC2", 2, 0) }},
+		{"JitterBroadcastC8", func() (benchRow, error) { return benchJitter("JitterBroadcastC8", 8, 0) }},
+		{"JitterBroadcastC8Shard4", func() (benchRow, error) { return benchJitter("JitterBroadcastC8Shard4", 8, 4) }},
+	}
+	shardCounts := []int{1, 2, 4}
+	if nc := runtime.NumCPU(); nc > 4 {
+		shardCounts = append(shardCounts, nc)
+	}
+	for _, shards := range shardCounts {
+		shards := shards
+		cases = append(cases, microCase{fmt.Sprintf("ShardedBroadcast%d", shards),
+			func() (benchRow, error) { return benchShard(shards) }})
+	}
+	// The open-loop load plane at a million calls per run: Poisson arrivals,
+	// bursty MMPP arrivals, and a Zipf-skewed run with the capacity model on
+	// (finite NCU queues, link buckets, per-endpoint admission) so the
+	// artifact tracks the engine's full-featured cost, not just its fast
+	// path. CallsPerOp/CallsPerSec land in the rows.
+	cases = append(cases,
+		microCase{"OpenLoopPoisson", func() (benchRow, error) {
+			return benchOpenLoop("OpenLoopPoisson", load.Config{Seed: 1, Calls: 1_000_000, Rate: 4, Holding: 256})
+		}},
+		microCase{"OpenLoopBurst", func() (benchRow, error) {
+			return benchOpenLoop("OpenLoopBurst", load.Config{Seed: 1, Calls: 1_000_000, Rate: 4, BurstFactor: 8, Holding: 256})
+		}},
+		microCase{"OpenLoopZipf", func() (benchRow, error) {
+			return benchOpenLoop("OpenLoopZipf", load.Config{
+				Seed: 1, Calls: 1_000_000, Rate: 4, Zipf: 1.2, Holding: 256, NCUCap: 64,
+				Capacity: core.Capacity{NCUQueue: 64, LinkRate: 2, LinkBurst: 8},
+			})
+		}},
+	)
+	return cases
+}
+
+// benchBroadcast measures one warm-start broadcast scenario.
+func benchBroadcast(name string, g *graph.Graph, mode topology.Mode, wantCovered int) (benchRow, error) {
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	var events int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := topology.SingleBroadcast(g, 0, mode)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
 			}
-		})
-		if benchErr != nil {
-			return fmt.Errorf("%s: %w", name, benchErr)
+			if wantCovered > 0 && res.Covered != wantCovered {
+				benchErr = fmt.Errorf("covered %d of %d nodes", res.Covered, wantCovered)
+				b.FailNow()
+			}
+			events = res.Events
 		}
-		rows = append(rows, newRow(name, r, events))
-		return nil
+	})
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
 	}
+	return newRow(name, r, events), nil
+}
 
-	if err := broadcast("SingleBroadcast4096", graph.RandomTree(4096, 2), topology.ModeBranching, 4095); err != nil {
-		return nil, err
-	}
-	// wantCovered 0 skips the coverage assertion: sparse GNP graphs need not
-	// be connected, and the flood's cost is what is being measured.
-	if err := broadcast("Flood1024", graph.GNP(1024, 4.0/1024, 3), topology.ModeFlood, 0); err != nil {
-		return nil, err
-	}
-
+// benchElection measures the §4 election with every node a starter.
+func benchElection() (benchRow, error) {
 	fmt.Fprintln(os.Stderr, "bench Election1024...")
 	g := graph.GNP(1024, 4.0/1024, 3)
 	starters := make([]core.NodeID, 1024)
@@ -315,42 +418,12 @@ func benchMicro() ([]benchRow, error) {
 		}
 	})
 	if benchErr != nil {
-		return nil, fmt.Errorf("Election1024: %w", benchErr)
+		return benchRow{}, fmt.Errorf("Election1024: %w", benchErr)
 	}
-	rows = append(rows, newRow("Election1024", r, 0))
-
-	gosimRow, err := benchGosim()
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, gosimRow)
-
-	routingRows, err := benchRouting()
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, routingRows...)
-
-	grayRows, err := benchGray()
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, grayRows...)
-
-	jitterRows, err := benchJitterBroadcast()
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, jitterRows...)
-
-	shardRows, err := benchSharded()
-	if err != nil {
-		return nil, err
-	}
-	return append(rows, shardRows...), nil
+	return newRow("Election1024", r, 0), nil
 }
 
-// benchJitterBroadcast measures the fault-heavy C >= 1 regime the auto-sized
+// benchJitter measures the fault-heavy C >= 1 regime the auto-sized
 // calendar ring exists for: a dense GNP flood broadcast under hardware delay
 // C where every hop is jittered up to 384 ticks — far beyond the historical
 // 64-slot window — and NCU slowdowns stretch the activation backlog. On the
@@ -361,109 +434,38 @@ func benchMicro() ([]benchRow, error) {
 // three harness runs: these are multi-second single-iteration measurements,
 // and the minimum is the standard way to strip scheduler noise on a shared
 // runner from a deterministic workload.
-func benchJitterBroadcast() ([]benchRow, error) {
+func benchJitter(name string, c core.Time, shards int) (benchRow, error) {
 	faults := core.MsgFaults{Jitter: 1, JitterMax: 384, Slowdown: 0.1, SlowFactor: 2, SlowMax: 512}
 	g := graph.GNP(1024, 14.0/1024, 11)
-	var rows []benchRow
-	run := func(name string, c core.Time, shards int) error {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
-		procs := runtime.GOMAXPROCS(0)
-		if shards > 0 {
-			if nc := runtime.NumCPU(); nc > procs {
-				procs = nc
-			}
-			if shards > procs {
-				procs = shards
-			}
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	procs := runtime.GOMAXPROCS(0)
+	if shards > 0 {
+		if nc := runtime.NumCPU(); nc > procs {
+			procs = nc
 		}
-		prev := runtime.GOMAXPROCS(procs)
-		defer runtime.GOMAXPROCS(prev)
-		var best benchRow
-		var events int64
-		for attempt := 0; attempt < 3; attempt++ {
-			var benchErr error
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					opts := []sim.Option{sim.WithDelays(c, 1), sim.WithSeed(7), sim.WithMsgFaults(faults)}
-					if shards > 0 {
-						opts = append(opts, sim.WithShards(shards))
-					}
-					net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil), opts...)
-					recs := topology.RecordsForGraph(g, net.PortMap(), nil)
-					for u := 0; u < g.N(); u += 8 {
-						net.Protocol(core.NodeID(u)).(topology.Maintainer).Preload(recs)
-						net.Inject(core.Time(u%8), core.NodeID(u), topology.Trigger{})
-					}
-					if _, err := net.Run(); err != nil {
-						benchErr = err
-						b.FailNow()
-					}
-					if m := net.Metrics(); m.Deliveries == 0 {
-						benchErr = fmt.Errorf("flood delivered nothing")
-						b.FailNow()
-					}
-					events = net.SchedStats().Events
-				}
-			})
-			if benchErr != nil {
-				return fmt.Errorf("%s: %w", name, benchErr)
-			}
-			if row := newRow(name, r, events); attempt == 0 || row.NsPerOp < best.NsPerOp {
-				best = row
-			}
-		}
-		best.MaxProcs = procs
-		best.Shards = shards
-		rows = append(rows, best)
-		return nil
-	}
-	if err := run("JitterBroadcastC2", 2, 0); err != nil {
-		return nil, err
-	}
-	if err := run("JitterBroadcastC8", 8, 0); err != nil {
-		return nil, err
-	}
-	if err := run("JitterBroadcastC8Shard4", 8, 4); err != nil {
-		return nil, err
-	}
-	return rows, nil
-}
-
-// benchSharded measures the sharded space-parallel scheduler: one flood
-// broadcast over a large GNP graph at 1, 2, 4, and NumCPU shards, with
-// GOMAXPROCS raised so every shard can have a core. The shards=1 row is the
-// serial reference of the same stream contract, so events/sec ratios between
-// rows are the parallel speedup. The run at >= 4 shards doubles as a smoke
-// check that the partitioner actually engages the parallel path on GNP.
-func benchSharded() ([]benchRow, error) {
-	const n = 8192
-	g := graph.GNP(n, 6.0/n, 9)
-	counts := []int{1, 2, 4}
-	if nc := runtime.NumCPU(); nc > 4 {
-		counts = append(counts, nc)
-	}
-	var rows []benchRow
-	for _, shards := range counts {
-		name := fmt.Sprintf("ShardedBroadcast%d", shards)
-		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
-		procs := runtime.NumCPU()
 		if shards > procs {
 			procs = shards
 		}
-		prev := runtime.GOMAXPROCS(procs)
-		var events int64
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var best benchRow
+	var events int64
+	for attempt := 0; attempt < 3; attempt++ {
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil),
-					sim.WithDelays(2, 1), sim.WithSeed(7), sim.WithDmax(n), sim.WithShards(shards))
-				if shards >= 4 && net.Shards() <= 1 {
-					benchErr = fmt.Errorf("sharded engine not engaged on GNP: %+v", net.ShardInfo())
-					b.FailNow()
+				opts := []sim.Option{sim.WithDelays(c, 1), sim.WithSeed(7), sim.WithMsgFaults(faults)}
+				if shards > 0 {
+					opts = append(opts, sim.WithShards(shards))
 				}
-				net.Inject(0, 0, topology.Trigger{})
+				net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil), opts...)
+				recs := topology.RecordsForGraph(g, net.PortMap(), nil)
+				for u := 0; u < g.N(); u += 8 {
+					net.Protocol(core.NodeID(u)).(topology.Maintainer).Preload(recs)
+					net.Inject(core.Time(u%8), core.NodeID(u), topology.Trigger{})
+				}
 				if _, err := net.Run(); err != nil {
 					benchErr = err
 					b.FailNow()
@@ -475,16 +477,111 @@ func benchSharded() ([]benchRow, error) {
 				events = net.SchedStats().Events
 			}
 		})
-		runtime.GOMAXPROCS(prev)
 		if benchErr != nil {
-			return nil, fmt.Errorf("%s: %w", name, benchErr)
+			return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
 		}
-		row := newRow(name, r, events)
-		row.MaxProcs = procs
-		row.Shards = shards
-		rows = append(rows, row)
+		if row := newRow(name, r, events); attempt == 0 || row.NsPerOp < best.NsPerOp {
+			best = row
+		}
 	}
-	return rows, nil
+	best.MaxProcs = procs
+	best.Shards = shards
+	return best, nil
+}
+
+// benchShard measures the sharded space-parallel scheduler: one flood
+// broadcast over a large GNP graph at the given shard count, with
+// GOMAXPROCS raised so every shard can have a core. The shards=1 row is the
+// serial reference of the same stream contract, so events/sec ratios between
+// rows are the parallel speedup. The run at >= 4 shards doubles as a smoke
+// check that the partitioner actually engages the parallel path on GNP.
+func benchShard(shards int) (benchRow, error) {
+	const n = 8192
+	g := graph.GNP(n, 6.0/n, 9)
+	name := fmt.Sprintf("ShardedBroadcast%d", shards)
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	procs := runtime.NumCPU()
+	if shards > procs {
+		procs = shards
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	var events int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := sim.New(g, topology.NewMaintainer(topology.ModeFlood, false, nil),
+				sim.WithDelays(2, 1), sim.WithSeed(7), sim.WithDmax(n), sim.WithShards(shards))
+			if shards >= 4 && net.Shards() <= 1 {
+				benchErr = fmt.Errorf("sharded engine not engaged on GNP: %+v", net.ShardInfo())
+				b.FailNow()
+			}
+			net.Inject(0, 0, topology.Trigger{})
+			if _, err := net.Run(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if m := net.Metrics(); m.Deliveries == 0 {
+				benchErr = fmt.Errorf("flood delivered nothing")
+				b.FailNow()
+			}
+			events = net.SchedStats().Events
+		}
+	})
+	runtime.GOMAXPROCS(prev)
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
+	}
+	row := newRow(name, r, events)
+	row.MaxProcs = procs
+	row.Shards = shards
+	return row, nil
+}
+
+// benchOpenLoop measures the open-loop load plane end to end on GNP-1024: a
+// million generated calls through the sampler, the timing wheel, the record
+// pool, and the latency recorders, riding the event spine. The row carries
+// both events/sec (spine throughput including the generator) and calls/sec
+// (the load plane's own rate); allocs/op staying flat across rows with very
+// different in-flight populations is the pooled-record evidence.
+func benchOpenLoop(name string, cfg load.Config) (benchRow, error) {
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	g := graph.GNP(1024, 6.0/1024, 3)
+	var events int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := load.Run(g, cfg)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if s.Generated != int64(cfg.Calls) {
+				benchErr = fmt.Errorf("generated %d of %d calls", s.Generated, cfg.Calls)
+				b.FailNow()
+			}
+			if s.Generated != s.Delivered+s.Blocked+s.Dropped {
+				benchErr = fmt.Errorf("ledger leak: gen=%d del=%d blk=%d drp=%d",
+					s.Generated, s.Delivered, s.Blocked, s.Dropped)
+				b.FailNow()
+			}
+			if int64(s.PoolChunks*1024) > s.Generated/4 {
+				benchErr = fmt.Errorf("record pool not engaged: %d records for %d calls", s.PoolChunks*1024, s.Generated)
+				b.FailNow()
+			}
+			events = s.Sched.Events
+		}
+	})
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
+	}
+	row := newRow(name, r, events)
+	if r.NsPerOp() > 0 {
+		row.CallsPerOp = int64(cfg.Calls)
+		row.CallsPerSec = float64(cfg.Calls) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return row, nil
 }
 
 // benchGosim measures the goroutine runtime end to end: build a 1024-node
@@ -523,63 +620,45 @@ func benchGosim() (benchRow, error) {
 	return newRow("GosimBroadcast1024", r, 0), nil
 }
 
-// benchRouting measures the amortized routing plane: repeated routes between
-// topology updates (warm caches) against routes with a version bump before
-// every query (the full rebuild the pre-cache code paid each call). Mirrors
-// bench_test.go's BenchmarkDBRoute* cases.
-func benchRouting() ([]benchRow, error) {
-	freshDB := func() (*topology.DB, topology.Record, error) {
-		g := graph.GNP(256, 8.0/256, 17)
-		pm := core.NewPortMap(g)
-		db := topology.NewDB()
-		for _, r := range topology.RecordsForGraph(g, pm, nil) {
-			db.Update(r)
-		}
-		if _, err := db.Route(0, 255); err != nil {
-			return nil, topology.Record{}, err
-		}
-		rec, _ := db.Record(0)
-		// Detach from the stored record: the cold loop mutates the links.
-		rec.Links = append([]topology.LinkInfo(nil), rec.Links...)
-		return db, rec, nil
+// benchRoute measures the amortized routing plane: repeated routes between
+// topology updates (warm caches, cold=false) against routes with a version
+// bump before every query (cold=true — the full rebuild the pre-cache code
+// paid each call). Mirrors bench_test.go's BenchmarkDBRoute* cases.
+func benchRoute(name string, cold bool) (benchRow, error) {
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	g := graph.GNP(256, 8.0/256, 17)
+	pm := core.NewPortMap(g)
+	db := topology.NewDB()
+	for _, r := range topology.RecordsForGraph(g, pm, nil) {
+		db.Update(r)
 	}
-
-	var rows []benchRow
-	for _, spec := range []struct {
-		name string
-		cold bool
-	}{
-		{"DBRouteWarm", false},
-		{"DBRouteCold", true},
-	} {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.name)
-		db, rec, err := freshDB()
-		if err != nil {
-			return nil, err
-		}
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if spec.cold {
-					rec.Seq++
-					rec.Links[0].Load++
-					db.Update(rec)
-				}
-				src := core.NodeID(i * 31 % 256)
-				dst := core.NodeID((i*97 + 13) % 256)
-				if _, err := db.Route(src, dst); err != nil {
-					benchErr = err
-					b.FailNow()
-				}
+	if _, err := db.Route(0, 255); err != nil {
+		return benchRow{}, err
+	}
+	rec, _ := db.Record(0)
+	// Detach from the stored record: the cold loop mutates the links.
+	rec.Links = append([]topology.LinkInfo(nil), rec.Links...)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				rec.Seq++
+				rec.Links[0].Load++
+				db.Update(rec)
 			}
-		})
-		if benchErr != nil {
-			return nil, fmt.Errorf("%s: %w", spec.name, benchErr)
+			src := core.NodeID(i * 31 % 256)
+			dst := core.NodeID((i*97 + 13) % 256)
+			if _, err := db.Route(src, dst); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
 		}
-		rows = append(rows, newRow(spec.name, r, 0))
+	})
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
 	}
-	return rows, nil
+	return newRow(name, r, 0), nil
 }
 
 // relBenchSend commands the bench sender to open one reliable frame.
@@ -664,34 +743,24 @@ func runDetectorPhi() error {
 	return nil
 }
 
-// benchGray measures the gray-failure hot paths added with invariant I8: the
-// adaptive (Jacobson/Karn) reliable endpoint and the phi-accrual failure
-// detector. Mirrors bench_test.go's BenchmarkReliableAdaptive and
-// BenchmarkDetectorPhi.
-func benchGray() ([]benchRow, error) {
-	var rows []benchRow
-	for _, spec := range []struct {
-		name string
-		run  func() error
-	}{
-		{"ReliableAdaptive", runReliableAdaptive},
-		{"DetectorPhi", runDetectorPhi},
-	} {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", spec.name)
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := spec.run(); err != nil {
-					benchErr = err
-					b.FailNow()
-				}
+// benchFunc measures a plain run-one-iteration function (the gray-failure
+// hot paths added with invariant I8: the adaptive Jacobson/Karn reliable
+// endpoint and the phi-accrual failure detector). Mirrors bench_test.go's
+// BenchmarkReliableAdaptive and BenchmarkDetectorPhi.
+func benchFunc(name string, run func() error) (benchRow, error) {
+	fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				benchErr = err
+				b.FailNow()
 			}
-		})
-		if benchErr != nil {
-			return nil, fmt.Errorf("%s: %w", spec.name, benchErr)
 		}
-		rows = append(rows, newRow(spec.name, r, 0))
+	})
+	if benchErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, benchErr)
 	}
-	return rows, nil
+	return newRow(name, r, 0), nil
 }

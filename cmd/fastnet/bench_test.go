@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,10 +35,10 @@ func TestCompareBaselineRequireAll(t *testing.T) {
 	path := writeBaseline(t, base)
 	fresh := []benchRow{{Name: "A", NsPerOp: 101}}
 
-	if err := compareBaseline(fresh, path, 10, false); err != nil {
+	if err := compareBaseline(fresh, path, 10, false, matchAll); err != nil {
 		t.Fatalf("advisory compare failed on a missing benchmark: %v", err)
 	}
-	err := compareBaseline(fresh, path, 10, true)
+	err := compareBaseline(fresh, path, 10, true, matchAll)
 	if err == nil {
 		t.Fatal("require-all accepted a run missing baseline benchmark B")
 	}
@@ -53,12 +54,114 @@ func TestCompareBaselineRegression(t *testing.T) {
 	path := writeBaseline(t, []benchRow{{Name: "A", NsPerOp: 100}})
 
 	ok := []benchRow{{Name: "A", NsPerOp: 105}, {Name: "New", NsPerOp: 999}}
-	if err := compareBaseline(ok, path, 10, true); err != nil {
+	if err := compareBaseline(ok, path, 10, true, matchAll); err != nil {
 		t.Fatalf("compare failed within threshold: %v", err)
 	}
 	slow := []benchRow{{Name: "A", NsPerOp: 150}}
-	if err := compareBaseline(slow, path, 10, true); err == nil {
+	if err := compareBaseline(slow, path, 10, true, matchAll); err == nil {
 		t.Fatal("compare accepted a 50% regression with a 10% threshold")
+	}
+}
+
+// matchAll is the unfiltered name predicate runBench uses without -run.
+func matchAll(string) bool { return true }
+
+// TestCompareBaselineMatchScope: with a name filter, -require-all audits
+// coverage only within the selection — baseline rows outside the filter are
+// not "missing", rows inside it still are.
+func TestCompareBaselineMatchScope(t *testing.T) {
+	path := writeBaseline(t, []benchRow{
+		{Name: "OpenLoopPoisson", NsPerOp: 100},
+		{Name: "OpenLoopZipf", NsPerOp: 100},
+		{Name: "Election1024", NsPerOp: 100},
+	})
+	onlyOpenLoop := func(s string) bool { return strings.HasPrefix(s, "OpenLoop") }
+	fresh := []benchRow{{Name: "OpenLoopPoisson", NsPerOp: 101}, {Name: "OpenLoopZipf", NsPerOp: 99}}
+
+	if err := compareBaseline(fresh, path, 10, true, onlyOpenLoop); err != nil {
+		t.Fatalf("filtered require-all flagged out-of-selection Election1024: %v", err)
+	}
+	err := compareBaseline(fresh[:1], path, 10, true, onlyOpenLoop)
+	if err == nil {
+		t.Fatal("filtered require-all accepted a run missing in-selection OpenLoopZipf")
+	}
+	if !strings.Contains(err.Error(), "OpenLoopZipf") || strings.Contains(err.Error(), "Election1024") {
+		t.Fatalf("wrong missing set: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	fnErr := fn()
+	os.Stdout = old
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnErr != nil {
+		t.Fatalf("captured run failed: %v", fnErr)
+	}
+	return string(data)
+}
+
+// TestBenchList: -list enumerates experiment IDs and micro case names without
+// running anything, and -run narrows the listing.
+func TestBenchList(t *testing.T) {
+	full := captureStdout(t, func() error { return runBench([]string{"-list"}) })
+	for _, want := range []string{"E1", "SingleBroadcast4096", "ShardedBroadcast1",
+		"OpenLoopPoisson", "OpenLoopBurst", "OpenLoopZipf"} {
+		if !strings.Contains(full, want+"\n") {
+			t.Fatalf("-list misses %q:\n%s", want, full)
+		}
+	}
+	filtered := captureStdout(t, func() error { return runBench([]string{"-list", "-run", "^OpenLoop"}) })
+	lines := strings.Fields(filtered)
+	if len(lines) != 3 {
+		t.Fatalf("-run ^OpenLoop listed %d names, want 3:\n%s", len(lines), filtered)
+	}
+	for _, name := range lines {
+		if !strings.HasPrefix(name, "OpenLoop") {
+			t.Fatalf("filtered listing leaked %q", name)
+		}
+	}
+}
+
+// TestBenchRunFilterInvalid: a malformed -run regexp is a flag error, not a
+// silent match-nothing run.
+func TestBenchRunFilterInvalid(t *testing.T) {
+	if err := runBench([]string{"-run", "(", "-list"}); err == nil {
+		t.Fatal("invalid -run regexp was accepted")
+	}
+}
+
+// TestBenchRunFilterFrom: in compare-only mode, -run narrows both the loaded
+// fresh rows and the baseline coverage that -require-all demands.
+func TestBenchRunFilterFrom(t *testing.T) {
+	baseline := writeBaseline(t, []benchRow{
+		{Name: "OpenLoopPoisson", NsPerOp: 100},
+		{Name: "Election1024", NsPerOp: 100},
+	})
+	fresh := writeBaseline(t, []benchRow{
+		{Name: "OpenLoopPoisson", NsPerOp: 101},
+		// A huge regression on an out-of-filter row must not gate the run.
+		{Name: "Election1024", NsPerOp: 900},
+	})
+	args := []string{"-from", fresh, "-compare", baseline, "-require-all", "-run", "^OpenLoop"}
+	if err := runBench(args); err != nil {
+		t.Fatalf("filtered compare-only run failed: %v", err)
+	}
+	// Unfiltered, the same artifacts trip the regression gate.
+	if err := runBench([]string{"-from", fresh, "-compare", baseline, "-require-all"}); err == nil {
+		t.Fatal("unfiltered compare missed the Election1024 regression")
 	}
 }
 

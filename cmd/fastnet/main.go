@@ -298,6 +298,11 @@ func runSoak(args []string) error {
 		slowMax     = fs.Int("slow-max", 0, "max additive slowdown in ticks (default 8)")
 		stall       = fs.Int("stall", 0, "NCU-stall windows per epoch (arms invariant I8)")
 		stallTicks  = fs.Int("stall-ticks", 0, "stall window length in ticks (default 8)")
+		rate        = fs.Float64("rate", 0, "open-loop arrival rate in calls/tick (0 = classic churn soak; arms invariant I9)")
+		holding     = fs.Int("holding", 0, "open-loop mean call-holding time in ticks (default 256)")
+		zipfS       = fs.Float64("zipf", 0, "open-loop endpoint-popularity skew exponent (0 = uniform)")
+		ncuCap      = fs.Int("ncu-cap", 0, "open-loop finite NCU service queue (0 = unlimited)")
+		linkCap     = fs.Float64("link-cap", 0, "open-loop per-link token refill rate (0 = unlimited)")
 		reliableN   = fs.Int("reliable", 0, "reliable ledger messages per epoch (invariant I6)")
 		burstEvery  = fs.Int("burst-every", 0, "scale the fault profile up every k-th epoch (0 = off)")
 		burstScale  = fs.Float64("burst-scale", 0, "burst multiplier (default 2)")
@@ -356,6 +361,11 @@ func runSoak(args []string) error {
 		BurstEvery:     *burstEvery,
 		BurstScale:     *burstScale,
 		Reliable:       *reliableN,
+		Rate:           *rate,
+		Holding:        *holding,
+		ZipfS:          *zipfS,
+		NCUCap:         *ncuCap,
+		LinkCap:        *linkCap,
 		Calls:          *callCount,
 		NoElection:     *noElection,
 		MaxRounds:      *maxRounds,

@@ -1,0 +1,37 @@
+package core
+
+// Capacity is the finite-resource model of the open-loop load plane: the
+// Node-Capacitated Clique idea (each node handles a bounded amount of work
+// per round) applied to this paper's hardware split. The zero value disables
+// every limit, so networks built without an explicit capacity behave — bit
+// for bit — exactly as before the capacity dimension existed.
+type Capacity struct {
+	// NCUQueue caps the number of NCU activations (packet deliveries and
+	// injections) waiting for a node's single processor. An arrival that
+	// would make the backlog exceed the cap is dropped at the NCU boundary
+	// (Metrics.CapQueueDrops, trace KindCapQueueDrop) instead of queueing
+	// unboundedly — the paper's single-processor node made honest about
+	// finite buffering. 0 = unlimited.
+	NCUQueue int
+	// LinkRate is the token refill rate of every directed link, in packets
+	// per time unit: each traversal consumes one token from the tail node's
+	// bucket for that link, refilled continuously at this rate up to
+	// LinkBurst. A traversal finding less than one token is dropped
+	// (Metrics.CapLinkDrops, trace KindCapLinkDrop). 0 = unlimited.
+	LinkRate float64
+	// LinkBurst is the token-bucket depth (burst tolerance) used with
+	// LinkRate; values below 1 are raised to 1 so a fresh bucket can always
+	// pass at least one packet.
+	LinkBurst float64
+}
+
+// Enabled reports whether any capacity limit is configured.
+func (c Capacity) Enabled() bool { return c.NCUQueue > 0 || c.LinkRate > 0 }
+
+// Burst returns the effective token-bucket depth (at least 1).
+func (c Capacity) Burst() float64 {
+	if c.LinkBurst < 1 {
+		return 1
+	}
+	return c.LinkBurst
+}

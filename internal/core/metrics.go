@@ -59,6 +59,17 @@ type Metrics struct {
 	// stalls: virtual-time units on the discrete-event runtime, stalled
 	// activations on the goroutine runtime (which has no delay model).
 	StallTicks int64
+	// CapQueueDrops counts activations rejected at a full NCU service queue
+	// (Capacity.NCUQueue) — blocking at the endpoint under overload.
+	CapQueueDrops int64
+	// CapLinkDrops counts traversals rejected by an empty per-link token
+	// bucket (Capacity.LinkRate) — drop-under-overload on the wire.
+	CapLinkDrops int64
+	// QueueTicks accumulates, over admitted activations, the time each one
+	// waited behind its NCU's backlog before its software delay began.
+	// Accounted only while a Capacity is enabled, so capacity-free runs keep
+	// their historical metrics strings.
+	QueueTicks int64
 	// FinishTime is the virtual time of the last NCU activation
 	// (discrete-event runtime only; 0 in the goroutine runtime).
 	FinishTime Time
@@ -92,6 +103,12 @@ func (m Metrics) String() string {
 	if m.StallTicks > 0 {
 		s += fmt.Sprintf(" stallTicks=%d", m.StallTicks)
 	}
+	// The capacity block appears only when a limit fired or queueing was
+	// measured, so capacity-free tables keep their historical shape.
+	if m.CapQueueDrops+m.CapLinkDrops+m.QueueTicks > 0 {
+		s += fmt.Sprintf(" cap(queueDrops=%d linkDrops=%d queueTicks=%d)",
+			m.CapQueueDrops, m.CapLinkDrops, m.QueueTicks)
+	}
 	return s
 }
 
@@ -115,6 +132,9 @@ func (m *Metrics) Add(other Metrics) {
 	m.FaultReorders += other.FaultReorders
 	m.FaultSlowdowns += other.FaultSlowdowns
 	m.StallTicks += other.StallTicks
+	m.CapQueueDrops += other.CapQueueDrops
+	m.CapLinkDrops += other.CapLinkDrops
+	m.QueueTicks += other.QueueTicks
 	if other.MaxHeaderHops > m.MaxHeaderHops {
 		m.MaxHeaderHops = other.MaxHeaderHops
 	}

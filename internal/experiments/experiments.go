@@ -139,6 +139,7 @@ func All() []Spec {
 		{ID: "E21", Title: "Extension: reliable delivery on lossy links — ARQ overhead and convergence vs loss", Run: E21Reliability},
 		{ID: "E22", Title: "Extension: election under non-FIFO links — 6n holds while recovery absorbs reordering", Run: E22Reorder},
 		{ID: "E23", Title: "Extension: gray links — spurious retransmits under fixed vs adaptive RTO", Run: E23Gray},
+		{ID: "E24", Title: "Extension: open-loop overload — latency vs blocking across capacity regimes", Run: E24OpenLoop},
 	}
 	sort.Slice(specs, func(i, j int) bool { return idOrder(specs[i].ID) < idOrder(specs[j].ID) })
 	return specs

@@ -15,6 +15,7 @@ import (
 	"fastnet/internal/election"
 	"fastnet/internal/gosim"
 	"fastnet/internal/graph"
+	"fastnet/internal/load"
 	"fastnet/internal/reliable"
 	"fastnet/internal/sim"
 	"fastnet/internal/topology"
@@ -84,6 +85,19 @@ type Config struct {
 	Calls      int  // calls set up (and failure-checked) per epoch
 	NoElection bool // skip the per-epoch re-election invariant
 
+	// Open-loop load plane (DES runtime only). Rate > 0 switches the soak
+	// from the churn loop into its open-loop mode: each epoch runs one
+	// load-engine sweep of Calls arrivals at Rate*(epoch+1) calls per tick
+	// (a rising-pressure rate sweep), checking invariant I9 — the call
+	// ledger settles every generated call exactly once, and nothing is
+	// blocked or dropped unless an overload source (a capacity limit or a
+	// fault profile) is declared.
+	Rate    float64 // base arrival rate in calls per tick (0 = classic soak)
+	Holding int     // mean call-holding time in ticks (default 256)
+	ZipfS   float64 // endpoint-popularity skew exponent (0 = uniform)
+	NCUCap  int     // finite NCU service queue (Capacity.NCUQueue; 0 = unlimited)
+	LinkCap float64 // per-link token refill rate (Capacity.LinkRate; 0 = unlimited)
+
 	// Shards > 0 runs the DES fabric on the sharded space-parallel scheduler
 	// with that many event cores (see sim.WithShards). Because shard mode
 	// needs a nonzero lookahead, the fabric's hardware delay becomes 1 instead
@@ -121,6 +135,10 @@ func (cfg Config) Repro(topo string, n int) string {
 	}
 	if cfg.Stall > 0 {
 		fmt.Fprintf(&b, " -stall %d -stall-ticks %d", cfg.Stall, cfg.stallTicks())
+	}
+	if cfg.Rate > 0 {
+		fmt.Fprintf(&b, " -rate %g -holding %d -zipf %g -ncu-cap %d -link-cap %g",
+			cfg.Rate, cfg.olHolding(), cfg.ZipfS, cfg.NCUCap, cfg.LinkCap)
 	}
 	if cfg.MaxRounds > 0 {
 		fmt.Fprintf(&b, " -max-rounds %d", cfg.MaxRounds)
@@ -183,6 +201,13 @@ func (cfg Config) slowMax() int {
 		return 8
 	}
 	return cfg.SlowMax
+}
+
+func (cfg Config) olHolding() int {
+	if cfg.Holding <= 0 {
+		return 256
+	}
+	return cfg.Holding
 }
 
 func (cfg Config) stallTicks() int {
@@ -261,6 +286,14 @@ type Result struct {
 	GrayStalls    int
 	GraySuspects  int
 
+	// Open-loop totals (I9); untouched unless Config.Rate is set. OL merges
+	// every epoch's engine run — ledger counters, latency recorders, runtime
+	// metrics — and OLRuns counts the runs merged, gating the openloop block
+	// of Line() so classic soak lines render exactly as before the load
+	// plane existed.
+	OL     load.Stats
+	OLRuns int
+
 	// Det snapshots the worst-case (highest-phi) adaptive detector observed
 	// across the I8 scenarios, leader rewritten to the soak graph's node ID.
 	// Measurement only, like Sched: not part of Line(), printed by soak -v.
@@ -292,6 +325,11 @@ func (r *Result) Line() string {
 	if r.GrayElections > 0 || r.GrayStalls > 0 {
 		rel += fmt.Sprintf(" gray(elections=%d stalls=%d suspects=%d)",
 			r.GrayElections, r.GrayStalls, r.GraySuspects)
+	}
+	if r.OLRuns > 0 {
+		rel += fmt.Sprintf(" openloop(gen=%d del=%d blocked=%d dropped=%d p50=%d p99=%d p999=%d)",
+			r.OL.Generated, r.OL.Delivered, r.OL.Blocked, r.OL.Dropped,
+			r.OL.Setup.Quantile(0.5), r.OL.Setup.Quantile(0.99), r.OL.Setup.Quantile(0.999))
 	}
 	return fmt.Sprintf("epochs=%d violations=%d flips=%d conv(sum=%d,max=%d) elections=%d reelect(time=%d,max=%d,msgs=%d) calls(setup=%d,failed=%d,torn=%d) probes(sent=%d,down=%d)%s | %s",
 		r.Epochs, len(r.Violations), r.FaultFlips, r.ConvRounds, r.ConvMax,
@@ -439,6 +477,12 @@ type soakRun struct {
 func Soak(g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("faults: Epochs must be positive")
+	}
+	if cfg.Rate > 0 {
+		if cfg.runtime() != "des" {
+			return nil, fmt.Errorf("faults: the open-loop mode needs the discrete-event runtime, not %q", cfg.Runtime)
+		}
+		return runOpenLoop(g, cfg)
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = topology.ModeBranching

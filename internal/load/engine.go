@@ -1,0 +1,465 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/sim"
+)
+
+// Call lifecycle states. A record is stInFlight from admission until its
+// setup packet's terminal delivery; stDelivered while the call holds its
+// resources; the zombie states keep timed-out and completed records parked
+// (never reused) whenever reuse would be unsafe or a late packet may still
+// reference them.
+const (
+	stFree      uint8 = iota
+	stInFlight        // setup injected, not yet delivered
+	stDelivered       // delivered on time, holding resources until end
+	stDropped         // admission timeout fired while in flight (zombie)
+	stLate            // delivered after its timeout drop (zombie)
+	stDone            // completed, but unfreeable under dup faults (zombie)
+)
+
+// callRec is one call's lifecycle record. Records live in pooled chunks and
+// are recycled through a free list, so steady-state generation allocates
+// nothing and memory is O(1) per in-flight call. gen invalidates stale
+// timing-wheel entries from a record's previous lives.
+type callRec struct {
+	arrival core.Time
+	sent    core.Time
+	deliver core.Time
+	end     core.Time
+	hold    core.Time
+	pair    int32
+	idx     int32 // own pool index
+	next    int32 // free-list link
+	gen     uint32
+	state   uint8
+}
+
+const recChunk = 1024
+
+// recPool hands out callRec records from contiguous chunks via a free list.
+type recPool struct {
+	chunks  [][]callRec
+	free    int32 // head of free list, -1 when empty
+	live    int
+	maxLive int
+}
+
+func newRecPool() *recPool { return &recPool{free: -1} }
+
+func (p *recPool) get(idx int32) *callRec {
+	return &p.chunks[idx>>10][idx&(recChunk-1)]
+}
+
+func (p *recPool) alloc() *callRec {
+	if p.free < 0 {
+		base := int32(len(p.chunks)) * recChunk
+		chunk := make([]callRec, recChunk)
+		for i := range chunk {
+			chunk[i].idx = base + int32(i)
+			chunk[i].next = base + int32(i) + 1
+		}
+		chunk[recChunk-1].next = -1
+		p.chunks = append(p.chunks, chunk)
+		p.free = base
+	}
+	r := p.get(p.free)
+	p.free = r.next
+	p.live++
+	if p.live > p.maxLive {
+		p.maxLive = p.live
+	}
+	return r
+}
+
+func (p *recPool) release(r *callRec) {
+	r.gen++ // invalidate any wheel entries still pointing here
+	r.state = stFree
+	r.next = p.free
+	p.free = r.idx
+	p.live--
+}
+
+// Config describes one open-loop run. Only Rate and Calls are required;
+// every other knob has a neutral default. All randomness derives from Seed.
+type Config struct {
+	Seed int64
+	// Calls is how many arrivals to generate.
+	Calls int
+	// Rate is the long-run mean arrival rate in calls per tick.
+	Rate float64
+	// BurstFactor > 1 switches the arrival process from Poisson to on-off
+	// MMPP: on-phases arrive BurstFactor times denser than Rate, separated
+	// by silent phases, preserving the long-run mean.
+	BurstFactor float64
+	// BurstOn is the mean on-phase length in ticks (default 512).
+	BurstOn float64
+	// Holding is the mean call-holding time in ticks, exponentially
+	// distributed per call (default 256). A delivered call occupies its
+	// endpoints for its holding time before completing.
+	Holding core.Time
+	// Zipf is the skew exponent of the endpoint popularity table
+	// (0 = uniform).
+	Zipf float64
+	// Pairs bounds the popularity table size (0 = DefaultPairs rule).
+	Pairs int
+	// NCUCap > 0 caps concurrent calls per endpoint: an arrival finding
+	// either endpoint full is Blocked (the classic Erlang loss knob), and
+	// admitted calls carry an admission timer — in flight past
+	// AdmissionTimeout means Dropped.
+	NCUCap int
+	// AdmissionTimeout is the in-flight deadline when NCUCap > 0
+	// (default 4*Holding + 256).
+	AdmissionTimeout core.Time
+	// Capacity enables the runtime's finite-resource model (finite NCU
+	// service queues, per-link token buckets). Zero = off.
+	Capacity core.Capacity
+	// C, P are the runtime's hardware and software delays (defaults 0, 1).
+	C, P core.Time
+	// Faults layers the lossy-link model under the calls.
+	Faults core.MsgFaults
+	// EventBudget overrides the runtime's runaway guard
+	// (default max(64*Calls, 10M)).
+	EventBudget int64
+}
+
+func (cfg *Config) holding() core.Time {
+	if cfg.Holding <= 0 {
+		return 256
+	}
+	return cfg.Holding
+}
+
+func (cfg *Config) timeout() core.Time {
+	if cfg.AdmissionTimeout > 0 {
+		return cfg.AdmissionTimeout
+	}
+	return 4*cfg.holding() + 256
+}
+
+func (cfg *Config) burstOn() float64 {
+	if cfg.BurstOn <= 0 {
+		return 512
+	}
+	return cfg.BurstOn
+}
+
+func (cfg *Config) swDelay() core.Time {
+	if cfg.P <= 0 {
+		return 1
+	}
+	return cfg.P
+}
+
+// Stats is the outcome ledger and latency record of one open-loop run.
+// Conservation holds by construction: Generated == Delivered + Blocked +
+// Dropped (Late, Dups and Garbled are informational sub-counts of packets,
+// not calls).
+type Stats struct {
+	// Generated counts arrivals produced by the sampler.
+	Generated int64
+	// Delivered counts calls whose setup reached its destination in time.
+	Delivered int64
+	// Blocked counts arrivals rejected at admission (endpoint at NCUCap).
+	Blocked int64
+	// Dropped counts admitted calls that never (or too late) completed
+	// setup: lost to capacity drops, faults, or the admission timeout.
+	Dropped int64
+	// Late counts setups that arrived after their call was already dropped.
+	Late int64
+	// Dups counts redundant deliveries of already-settled calls
+	// (fault-injected duplicates).
+	Dups int64
+	// Garbled counts deliveries whose payload was corrupted in flight.
+	Garbled int64
+	// Setup records arrival-to-delivery latency; Transit records
+	// send-to-delivery (network-only) latency. Ticks.
+	Setup, Transit Hist
+	// MaxInFlight is the peak number of simultaneously live call records —
+	// with PoolChunks (chunks of recChunk records ever allocated) it
+	// evidences O(1) memory per in-flight call.
+	MaxInFlight int
+	PoolChunks  int
+	// Finish is the virtual time the run drained.
+	Finish core.Time
+	// Net and Sched are the runtime's own measures for the run.
+	Net   core.Metrics
+	Sched sim.SchedStats
+}
+
+// Merge accumulates other into s (Finish by max).
+func (s *Stats) Merge(other *Stats) {
+	s.Generated += other.Generated
+	s.Delivered += other.Delivered
+	s.Blocked += other.Blocked
+	s.Dropped += other.Dropped
+	s.Late += other.Late
+	s.Dups += other.Dups
+	s.Garbled += other.Garbled
+	s.Setup.Merge(&other.Setup)
+	s.Transit.Merge(&other.Transit)
+	if other.MaxInFlight > s.MaxInFlight {
+		s.MaxInFlight = other.MaxInFlight
+	}
+	s.PoolChunks += other.PoolChunks
+	if other.Finish > s.Finish {
+		s.Finish = other.Finish
+	}
+	s.Net.Add(other.Net)
+}
+
+// engine drives one run: sampler -> admission -> injection -> wheel.
+type engine struct {
+	cfg     Config
+	net     *sim.Network
+	pairs   *PairTable
+	wheel   *wheel
+	pool    *recPool
+	arr     Arrivals
+	pairRng *rand.Rand
+	holdRng *rand.Rand
+	active  []int32 // per-node concurrent calls, nil unless NCUCap > 0
+	timeout core.Time
+	reuse   bool // free records on completion (unsafe under dup faults)
+	stats   Stats
+}
+
+// olProto is the call-plane protocol: the source's injected activation
+// sends the precomputed route; the destination's terminal delivery settles
+// the call. One stateless instance serves every node.
+type olProto struct{ e *engine }
+
+func (p *olProto) Init(core.Env)                 {}
+func (p *olProto) LinkEvent(core.Env, core.Port) {}
+
+func (p *olProto) Deliver(env core.Env, pkt core.Packet) {
+	rec, ok := pkt.Payload.(*callRec)
+	if !ok {
+		p.e.stats.Garbled++
+		return
+	}
+	if pkt.Injected {
+		rec.sent = env.Now()
+		// The precomputed route can't violate dmax (unrestricted) and the
+		// header is validated at build time, so Send cannot fail here; if
+		// the fabric drops the packet the record stays in flight and is
+		// accounted Dropped at drain.
+		_ = env.Send(p.e.pairs.entries[rec.pair].hdr, rec)
+		return
+	}
+	p.e.delivered(rec, env.Now())
+}
+
+// Run executes one open-loop run over g. Extra sim options are appended
+// after the engine's own (so tests can attach trace sinks or shards).
+func Run(g *graph.Graph, cfg Config, opts ...sim.Option) (*Stats, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: Rate must be > 0, have %g", cfg.Rate)
+	}
+	if cfg.Calls < 0 {
+		return nil, fmt.Errorf("load: Calls must be >= 0, have %d", cfg.Calls)
+	}
+	e := &engine{cfg: cfg, timeout: cfg.timeout(), reuse: cfg.Faults.Dup == 0}
+	budget := cfg.EventBudget
+	if budget <= 0 {
+		budget = 64 * int64(cfg.Calls)
+		if budget < 10_000_000 {
+			budget = 10_000_000
+		}
+	}
+	simOpts := []sim.Option{
+		sim.WithDelays(cfg.C, cfg.swDelay()),
+		sim.WithSeed(cfg.Seed),
+		sim.WithEventBudget(budget),
+	}
+	if cfg.Capacity.Enabled() {
+		simOpts = append(simOpts, sim.WithCapacity(cfg.Capacity))
+	}
+	if cfg.Faults.Enabled() {
+		simOpts = append(simOpts, sim.WithMsgFaults(cfg.Faults))
+	}
+	simOpts = append(simOpts, opts...)
+	e.net = sim.New(g, func(core.NodeID) core.Protocol { return &olProto{e} }, simOpts...)
+	var err error
+	e.pairs, err = NewPairTable(g, e.net.PortMap(), cfg.Pairs, cfg.Zipf, cfg.Seed^0x9a1f)
+	if err != nil {
+		return nil, err
+	}
+	// Dedicated streams: arrival timing, endpoint choice, holding times.
+	// Each is a pure function of the seed, so no consumer can perturb
+	// another's draws.
+	if cfg.BurstFactor > 1 {
+		e.arr = NewBurst(cfg.Rate, cfg.BurstFactor, cfg.burstOn(), cfg.Seed^0x41a7)
+	} else {
+		e.arr = NewPoisson(cfg.Rate, cfg.Seed^0x41a7)
+	}
+	e.pairRng = rand.New(rand.NewSource(cfg.Seed ^ 0x77e1))
+	e.holdRng = rand.New(rand.NewSource(cfg.Seed ^ 0x3c6d))
+	e.wheel = newWheel(0)
+	e.pool = newRecPool()
+	if cfg.NCUCap > 0 {
+		e.active = make([]int32, g.N())
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.stats.MaxInFlight = e.pool.maxLive
+	e.stats.PoolChunks = len(e.pool.chunks)
+	e.stats.Finish = e.net.Now()
+	e.stats.Net = e.net.Metrics()
+	e.stats.Sched = e.net.SchedStats()
+	return &e.stats, nil
+}
+
+// run is the generator loop: wheel expiries are processed whenever the
+// next expiry precedes the next arrival; otherwise arrivals are injected in
+// batches bounded by the next expiry. With an engine-level NCUCap the batch
+// is 1 (strict admission: every arrival sees fully settled resource
+// counts); without one, batching only defers completion bookkeeping —
+// never admission decisions — so it trades nothing for the amortization.
+func (e *engine) run() error {
+	batch := 256
+	if e.cfg.NCUCap > 0 {
+		batch = 1
+	}
+	if e.cfg.Calls > 0 {
+		nextA := e.arr.Next()
+		for e.stats.Generated < int64(e.cfg.Calls) {
+			tW := e.wheel.next()
+			if tW >= 0 && tW <= nextA {
+				if tW > e.net.Now() {
+					if _, err := e.net.RunUntil(tW); err != nil {
+						return err
+					}
+				}
+				e.wheel.popUntil(tW, e.expire)
+				continue
+			}
+			last := nextA
+			for n := 0; n < batch && e.stats.Generated < int64(e.cfg.Calls); n++ {
+				if tW >= 0 && nextA >= tW {
+					break
+				}
+				last = nextA
+				e.arrive(nextA)
+				nextA = e.arr.Next()
+			}
+			if _, err := e.net.RunUntil(last); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain: keep the wheel and the runtime in lockstep (a timeout must
+	// still beat a slower delivery), then let the runtime finish, then
+	// drain the completions the final deliveries scheduled.
+	for {
+		tW := e.wheel.next()
+		if tW < 0 {
+			break
+		}
+		if tW > e.net.Now() {
+			if _, err := e.net.RunUntil(tW); err != nil {
+				return err
+			}
+		}
+		e.wheel.popUntil(tW, e.expire)
+	}
+	if _, err := e.net.Run(); err != nil {
+		return err
+	}
+	e.wheel.drainAll(e.expire)
+	// Residual in-flight records are setups the fabric lost and no timer
+	// claimed (timerless mode): account them dropped.
+	for ci := range e.pool.chunks {
+		for i := range e.pool.chunks[ci] {
+			r := &e.pool.chunks[ci][i]
+			if r.state == stInFlight {
+				e.stats.Dropped++
+				e.releaseEndpoints(r)
+			}
+		}
+	}
+	return nil
+}
+
+// arrive admits (or blocks) one arrival at time t and injects its setup.
+func (e *engine) arrive(t core.Time) {
+	e.stats.Generated++
+	pi := e.pairs.Sample(e.pairRng)
+	hold := 1 + core.Time(e.holdRng.ExpFloat64()*float64(e.cfg.holding()))
+	pe := &e.pairs.entries[pi]
+	if e.active != nil {
+		if int(e.active[pe.src]) >= e.cfg.NCUCap || int(e.active[pe.dst]) >= e.cfg.NCUCap {
+			e.stats.Blocked++
+			return
+		}
+		e.active[pe.src]++
+		e.active[pe.dst]++
+	}
+	r := e.pool.alloc()
+	r.arrival, r.pair, r.hold, r.state = t, int32(pi), hold, stInFlight
+	e.net.Inject(t, pe.src, r)
+	if e.active != nil {
+		e.wheel.add(t+e.timeout, r.idx, r.gen)
+	}
+}
+
+// delivered settles a terminal delivery at the destination.
+func (e *engine) delivered(r *callRec, now core.Time) {
+	switch r.state {
+	case stInFlight:
+		r.state = stDelivered
+		r.deliver = now
+		r.end = now + r.hold
+		e.stats.Delivered++
+		e.stats.Setup.Record(int64(now - r.arrival))
+		e.stats.Transit.Record(int64(now - r.sent))
+		e.wheel.add(r.end, r.idx, r.gen)
+	case stDropped:
+		// The admission timer already declared this call dead.
+		e.stats.Late++
+		r.state = stLate
+	default:
+		// stDelivered / stLate / stDone / a recycled record: a
+		// fault-injected duplicate of a settled call.
+		e.stats.Dups++
+	}
+}
+
+// expire handles one timing-wheel expiry: a call completion or an
+// admission timeout, disambiguated by state and deadline. Stale entries
+// (generation mismatch, or an admission timer whose call was delivered)
+// are ignored — lazy cancellation.
+func (e *engine) expire(w wheelEntry) {
+	r := e.pool.get(w.idx)
+	if r.gen != w.gen {
+		return
+	}
+	switch {
+	case r.state == stDelivered && w.t == r.end:
+		e.releaseEndpoints(r)
+		if e.reuse {
+			e.pool.release(r)
+		} else {
+			r.state = stDone
+		}
+	case r.state == stInFlight:
+		e.stats.Dropped++
+		e.releaseEndpoints(r)
+		r.state = stDropped
+	}
+}
+
+func (e *engine) releaseEndpoints(r *callRec) {
+	if e.active == nil {
+		return
+	}
+	pe := &e.pairs.entries[r.pair]
+	e.active[pe.src]--
+	e.active[pe.dst]--
+}

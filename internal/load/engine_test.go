@@ -1,0 +1,188 @@
+package load
+
+import (
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// checkLedger asserts the conservation invariant that makes the open-loop
+// ledger exactly-once: every generated call is settled exactly one way.
+func checkLedger(t *testing.T, s *Stats) {
+	t.Helper()
+	if s.Generated != s.Delivered+s.Blocked+s.Dropped {
+		t.Fatalf("ledger leak: generated=%d delivered=%d blocked=%d dropped=%d",
+			s.Generated, s.Delivered, s.Blocked, s.Dropped)
+	}
+}
+
+// TestEngineCleanFabric: on a fault-free, capacity-free fabric every
+// generated call is delivered — nothing blocked, nothing dropped — and the
+// latency recorders see every call.
+func TestEngineCleanFabric(t *testing.T) {
+	g := graph.GNP(64, 5.0/64, 3)
+	s, err := Run(g, Config{Seed: 1, Calls: 20000, Rate: 0.5, Holding: 200, Zipf: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	if s.Generated != 20000 {
+		t.Fatalf("generated=%d want 20000", s.Generated)
+	}
+	if s.Delivered != s.Generated {
+		t.Fatalf("clean fabric lost calls: delivered=%d of %d (dropped=%d blocked=%d)",
+			s.Delivered, s.Generated, s.Dropped, s.Blocked)
+	}
+	if s.Late != 0 || s.Dups != 0 || s.Garbled != 0 {
+		t.Fatalf("clean fabric reported late=%d dups=%d garbled=%d", s.Late, s.Dups, s.Garbled)
+	}
+	if s.Setup.Count() != s.Delivered || s.Transit.Count() != s.Delivered {
+		t.Fatalf("recorder counts %d/%d, want %d", s.Setup.Count(), s.Transit.Count(), s.Delivered)
+	}
+	if s.Setup.Quantile(0.5) < s.Transit.Quantile(0.5) {
+		t.Fatalf("setup p50 %d below transit p50 %d", s.Setup.Quantile(0.5), s.Transit.Quantile(0.5))
+	}
+	if s.MaxInFlight <= 0 || s.PoolChunks <= 0 {
+		t.Fatalf("pool never engaged: maxInFlight=%d chunks=%d", s.MaxInFlight, s.PoolChunks)
+	}
+}
+
+// TestEngineDeterminism: the run is a pure function of the scenario — two
+// identical configs produce identical ledgers, latency distributions, and
+// runtime metrics.
+func TestEngineDeterminism(t *testing.T) {
+	g := graph.GNP(64, 5.0/64, 3)
+	cfg := Config{Seed: 7, Calls: 10000, Rate: 0.8, Holding: 150, Zipf: 1.2, BurstFactor: 6,
+		NCUCap: 4, Capacity: core.Capacity{NCUQueue: 8, LinkRate: 0.5}}
+	a, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("identical configs diverged:\n a: gen=%d del=%d blk=%d drp=%d finish=%d\n b: gen=%d del=%d blk=%d drp=%d finish=%d",
+			a.Generated, a.Delivered, a.Blocked, a.Dropped, a.Finish,
+			b.Generated, b.Delivered, b.Blocked, b.Dropped, b.Finish)
+	}
+	// A different seed must actually change the outcome.
+	cfg.Seed = 8
+	c, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Finish == c.Finish && a.Delivered == c.Delivered && a.Blocked == c.Blocked {
+		t.Fatalf("seeds 7 and 8 produced identical outcomes")
+	}
+}
+
+// TestEngineBlocking: with a tiny per-endpoint concurrency cap and offered
+// load far above capacity, a substantial share of arrivals must be blocked
+// at admission — the Erlang loss behavior — while the ledger stays exact.
+func TestEngineBlocking(t *testing.T) {
+	g := graph.Ring(16)
+	s, err := Run(g, Config{Seed: 2, Calls: 8000, Rate: 2.0, Holding: 400, NCUCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	if s.Blocked == 0 {
+		t.Fatalf("overloaded NCUCap=1 ring blocked nothing (delivered=%d dropped=%d)",
+			s.Delivered, s.Dropped)
+	}
+	if s.Delivered == 0 {
+		t.Fatalf("nothing delivered under blocking")
+	}
+}
+
+// TestEngineCapacityDrops: finite NCU queues and starved link buckets under
+// overload must surface as runtime capacity drops and engine-level Dropped
+// calls; the conservation ledger must still balance exactly.
+func TestEngineCapacityDrops(t *testing.T) {
+	g := graph.Star(24)
+	s, err := Run(g, Config{
+		Seed: 4, Calls: 12000, Rate: 3.0, Holding: 100, NCUCap: 64,
+		Capacity: core.Capacity{NCUQueue: 2, LinkRate: 0.05, LinkBurst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	if s.Net.CapQueueDrops == 0 && s.Net.CapLinkDrops == 0 {
+		t.Fatalf("overloaded capacitated star recorded no capacity drops")
+	}
+	if s.Dropped == 0 {
+		t.Fatalf("capacity drops occurred but no call was dropped (queueDrops=%d linkDrops=%d)",
+			s.Net.CapQueueDrops, s.Net.CapLinkDrops)
+	}
+}
+
+// TestEngineFaultyFabric: under message loss and duplication the ledger
+// still settles every call exactly once; duplicates surface in Dups, not as
+// extra deliveries.
+func TestEngineFaultyFabric(t *testing.T) {
+	g := graph.GNP(48, 5.0/48, 6)
+	s, err := Run(g, Config{
+		Seed: 5, Calls: 10000, Rate: 0.6, Holding: 120, NCUCap: 8,
+		Faults: core.MsgFaults{Drop: 0.05, Dup: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	if s.Dropped == 0 {
+		t.Fatalf("5%% per-hop loss dropped no calls")
+	}
+	if s.Dups == 0 {
+		t.Fatalf("5%% per-hop duplication produced no duplicate deliveries")
+	}
+	if s.Delivered == 0 {
+		t.Fatalf("nothing delivered under faults")
+	}
+}
+
+// TestEnginePoolReuse: on a clean fabric the record pool must stay O(1) in
+// the in-flight population — far below one record per generated call.
+func TestEnginePoolReuse(t *testing.T) {
+	g := graph.GNP(64, 5.0/64, 3)
+	s, err := Run(g, Config{Seed: 9, Calls: 50000, Rate: 1.0, Holding: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	records := s.PoolChunks * recChunk
+	if int64(records) > s.Generated/4 {
+		t.Fatalf("pool grew to %d records for %d calls (maxInFlight=%d): free list not engaged",
+			records, s.Generated, s.MaxInFlight)
+	}
+	if records < s.MaxInFlight {
+		t.Fatalf("pool accounting broken: %d records < maxInFlight %d", records, s.MaxInFlight)
+	}
+}
+
+// TestEngineZeroCalls: an empty run settles cleanly.
+func TestEngineZeroCalls(t *testing.T) {
+	g := graph.Ring(8)
+	s, err := Run(g, Config{Seed: 1, Calls: 0, Rate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, s)
+	if s.Generated != 0 || s.Finish != 0 {
+		t.Fatalf("empty run generated=%d finish=%d", s.Generated, s.Finish)
+	}
+}
+
+// TestEngineRejectsBadConfig: rate must be positive.
+func TestEngineRejectsBadConfig(t *testing.T) {
+	g := graph.Ring(8)
+	if _, err := Run(g, Config{Seed: 1, Calls: 10, Rate: 0}); err == nil {
+		t.Fatal("Rate=0 accepted")
+	}
+	if _, err := Run(g, Config{Seed: 1, Calls: -1, Rate: 1}); err == nil {
+		t.Fatal("Calls=-1 accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// DefaultPairs bounds the endpoint popularity table when Config.Pairs is 0:
+// min(DefaultPairs, n*(n-1)) distinct (src,dst) pairs.
+const DefaultPairs = 4096
+
+// pairEntry is one precomputed (src,dst) endpoint pair with its ANR route,
+// so the per-call hot path does no graph work at all.
+type pairEntry struct {
+	src, dst core.NodeID
+	hdr      anr.Header
+	hops     int32
+}
+
+// PairTable is the Zipf-skewed endpoint popularity table: a fixed set of
+// distinct (src,dst) pairs, pair i carrying weight 1/(i+1)^skew (uniform at
+// skew 0), sampled in O(1) with the alias method. Routes are shortest paths
+// precomputed at build time from per-source BFS trees.
+type PairTable struct {
+	entries []pairEntry
+	alias   aliasTable
+	maxHops int
+}
+
+// NewPairTable builds a table of count distinct connected pairs over g
+// (count <= 0 uses the DefaultPairs rule; the table may come up shorter
+// than count on sparse or disconnected graphs, but never empty unless no
+// connected ordered pair exists). The choice of pairs and their popularity
+// ranking derive from seed alone.
+func NewPairTable(g *graph.Graph, pm *core.PortMap, count int, skew float64, seed int64) (*PairTable, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("load: pair table needs >= 2 nodes, have %d", n)
+	}
+	maxPairs := n * (n - 1)
+	if count <= 0 {
+		count = DefaultPairs
+	}
+	if count > maxPairs {
+		count = maxPairs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trees := make(map[core.NodeID]*graph.Tree)
+	tree := func(src core.NodeID) *graph.Tree {
+		t, ok := trees[src]
+		if !ok {
+			t = g.BFSTree(src)
+			trees[src] = t
+		}
+		return t
+	}
+	t := &PairTable{entries: make([]pairEntry, 0, count)}
+	appendPair := func(src, dst core.NodeID) error {
+		path := tree(src).PathFromRoot(dst)
+		if path == nil {
+			return nil // unreachable: skip the pair
+		}
+		links, err := pm.RouteLinks(path)
+		if err != nil {
+			return err
+		}
+		hdr := anr.Direct(links)
+		hops := hdr.HopCount()
+		if hops > t.maxHops {
+			t.maxHops = hops
+		}
+		t.entries = append(t.entries, pairEntry{src: src, dst: dst, hdr: hdr, hops: int32(hops)})
+		return nil
+	}
+	if count >= maxPairs/2 || maxPairs <= 4*count {
+		// Dense request: enumerate every ordered pair, shuffle for the
+		// popularity ranking, keep the first count connected ones.
+		all := make([][2]core.NodeID, 0, maxPairs)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					all = append(all, [2]core.NodeID{core.NodeID(u), core.NodeID(v)})
+				}
+			}
+		}
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		for _, p := range all {
+			if len(t.entries) == count {
+				break
+			}
+			if err := appendPair(p[0], p[1]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Sparse request: rejection-sample distinct pairs.
+		seen := make(map[int64]struct{}, count)
+		for attempts := 0; len(t.entries) < count && attempts < 64*count+1024; attempts++ {
+			src := core.NodeID(rng.Intn(n))
+			dst := core.NodeID(rng.Intn(n))
+			if src == dst {
+				continue
+			}
+			key := int64(src)*int64(n) + int64(dst)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if err := appendPair(src, dst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(t.entries) == 0 {
+		return nil, fmt.Errorf("load: no connected (src,dst) pair found")
+	}
+	weights := make([]float64, len(t.entries))
+	for i := range weights {
+		if skew <= 0 {
+			weights[i] = 1
+		} else {
+			weights[i] = math.Pow(float64(i+1), -skew)
+		}
+	}
+	t.alias = newAlias(weights)
+	return t, nil
+}
+
+// Len returns the number of pairs in the table.
+func (t *PairTable) Len() int { return len(t.entries) }
+
+// MaxHops returns the longest precomputed route (ANR hop count).
+func (t *PairTable) MaxHops() int { return t.maxHops }
+
+// Sample draws one pair index in O(1).
+func (t *PairTable) Sample(rng *rand.Rand) int { return t.alias.sample(rng) }
+
+// Pair returns pair i's endpoints.
+func (t *PairTable) Pair(i int) (src, dst core.NodeID) {
+	return t.entries[i].src, t.entries[i].dst
+}

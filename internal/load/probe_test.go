@@ -1,0 +1,68 @@
+package load
+
+import (
+	"testing"
+
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+)
+
+// TestProbeFindsKnee: a ring with a tight per-endpoint cap serves low rates
+// cleanly and blocks heavily at high rates, so the bisection must land
+// strictly inside the bracket — and do so reproducibly.
+func TestProbeFindsKnee(t *testing.T) {
+	g := graph.Ring(12)
+	pc := ProbeConfig{
+		Template:    Config{Seed: 3, Calls: 3000, Holding: 200, NCUCap: 4},
+		MinRate:     0.02,
+		MaxRate:     4.0,
+		SuccessFrac: 0.95,
+		Iters:       6,
+	}
+	a, err := MaxSustainableRate(g, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rate <= 0 {
+		t.Fatalf("probe found no sustainable rate (runs=%d)", a.Runs)
+	}
+	if a.Rate >= pc.MaxRate {
+		t.Fatalf("probe claims the saturating rate %g is sustainable", a.Rate)
+	}
+	if a.At == nil || a.At.Generated == 0 {
+		t.Fatalf("probe returned no witness run")
+	}
+	b, err := MaxSustainableRate(g, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rate != b.Rate || a.Runs != b.Runs {
+		t.Fatalf("probe not deterministic: %g/%d vs %g/%d", a.Rate, a.Runs, b.Rate, b.Runs)
+	}
+}
+
+// TestProbeUnsustainableFloor: when even MinRate fails the probe reports 0
+// rather than inventing a knee.
+func TestProbeUnsustainableFloor(t *testing.T) {
+	g := graph.Ring(8)
+	pc := ProbeConfig{
+		// Drop forces ~every multi-hop setup to fail somewhere.
+		Template:    Config{Seed: 1, Calls: 500, Holding: 50, Faults: faultsAllDrop()},
+		MinRate:     0.1,
+		MaxRate:     1.0,
+		SuccessFrac: 0.99,
+		Iters:       4,
+	}
+	res, err := MaxSustainableRate(g, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate != 0 {
+		t.Fatalf("probe found rate %g on an all-dropping fabric", res.Rate)
+	}
+	if res.Runs != 1 {
+		t.Fatalf("probe kept searching after the floor failed: %d runs", res.Runs)
+	}
+}
+
+func faultsAllDrop() (f core.MsgFaults) { f.Drop = 0.9; return }

@@ -1,0 +1,294 @@
+package load
+
+import (
+	"math/bits"
+
+	"fastnet/internal/core"
+)
+
+// Hierarchical timing wheel for call-holding times and admission timers.
+// Two wheel levels plus an overflow tier:
+//
+//   - fine: 256 one-tick slots covering (cur, cur+256);
+//   - coarse: 256 slots of 256 ticks covering up to the horizon;
+//   - over: everything at distance >= wheelHorizon, re-bucketed lazily.
+//
+// The insert horizon is wheelSpan - wheelSlots rather than wheelSpan: the
+// one-block margin guarantees every coarse slot holds entries of a single
+// 256-tick block (two blocks one wheel-turn apart can never be pending in
+// one slot at once), so a cascade moves a whole slot without filtering.
+//
+// next() is a pure peek (cached, invalidated by pops): the clock hand cur
+// only advances inside popUntil, and never past the entry being popped or
+// the caller's deadline. That asymmetry is load-bearing — the engine peeks
+// every loop iteration while new deadlines keep arriving behind the earliest
+// pending one, and an eagerly advanced hand would clamp them into the past.
+//
+// Ordering argument (see docs/PERF.md): all fine-resident entries lie in
+// (cur, cur+256), where each slot index corresponds to exactly one absolute
+// time, so a bitmap scan in slot order from cur+1 through the end of cur's
+// block visits times in increasing order; entries of later blocks are either
+// in fine slots below the scan window or still coarse/overflow-resident, and
+// locate() advances cur block-by-block (cascading each block's coarse slot
+// first), so no entry is ever visited late. Hence popUntil drains in
+// nondecreasing time order.
+const (
+	wheelBits    = 8
+	wheelSlots   = 1 << wheelBits          // 256 fine slots, 1 tick each
+	wheelSpan    = wheelSlots * wheelSlots // coarse level reach: 65536 ticks
+	wheelHorizon = wheelSpan - wheelSlots  // insert threshold (single-block slots)
+	wheelMask    = core.Time(wheelSlots - 1)
+)
+
+// wheelEntry schedules pool record idx at time t; gen guards against stale
+// entries (lazy cancellation: the pool bumps a record's generation when it
+// is freed, so entries of a previous life no longer match).
+type wheelEntry struct {
+	t   core.Time
+	idx int32
+	gen uint32
+}
+
+type wheel struct {
+	cur     core.Time // all pending entries have t > cur
+	pending int
+	fine    [wheelSlots][]wheelEntry
+	coarse  [wheelSlots][]wheelEntry
+	fineBm  [wheelSlots / 64]uint64
+	corseBm [wheelSlots / 64]uint64
+	over    []wheelEntry
+	overMin core.Time    // min overflow entry time, -1 when empty
+	spare   []wheelEntry // reused batch buffer for popUntil
+	peekT   core.Time    // cached earliest pending time
+	peekOK  bool         // peekT valid
+}
+
+func newWheel(start core.Time) *wheel {
+	return &wheel{cur: start, overMin: -1, peekT: -1, peekOK: true}
+}
+
+// add schedules (idx, gen) at time t (clamped to cur+1 if not in the
+// future). Amortized O(1): each entry is appended at most three times
+// (overflow, coarse, fine) over its life.
+func (w *wheel) add(t core.Time, idx int32, gen uint32) {
+	if t <= w.cur {
+		t = w.cur + 1
+	}
+	w.pending++
+	switch d := t - w.cur; {
+	case d < wheelSlots:
+		s := int(t & wheelMask)
+		w.fine[s] = append(w.fine[s], wheelEntry{t, idx, gen})
+		w.fineBm[s>>6] |= 1 << (s & 63)
+	case d < wheelHorizon:
+		s := int((t >> wheelBits) & wheelMask)
+		w.coarse[s] = append(w.coarse[s], wheelEntry{t, idx, gen})
+		w.corseBm[s>>6] |= 1 << (s & 63)
+	default:
+		w.over = append(w.over, wheelEntry{t, idx, gen})
+		if w.overMin < 0 || t < w.overMin {
+			w.overMin = t
+		}
+	}
+	if w.peekOK && (w.peekT < 0 || t < w.peekT) {
+		w.peekT = t
+	}
+}
+
+// next returns the earliest pending expiry time, or -1 when the wheel is
+// empty. Pure peek: the clock hand does not move, so entries added behind
+// the current earliest (but after cur) remain schedulable.
+func (w *wheel) next() core.Time {
+	if w.pending == 0 {
+		return -1
+	}
+	if !w.peekOK {
+		w.peekT = w.peekCompute()
+		w.peekOK = true
+	}
+	return w.peekT
+}
+
+// peekCompute scans the three tiers for the earliest pending time.
+func (w *wheel) peekCompute() core.Time {
+	best := core.Time(-1)
+	// Fine tier: entries lie in (cur, cur+256); slots above cur's offset
+	// belong to cur's block, slots below it to the next block. Scan in that
+	// (= time) order and take the first hit.
+	base := w.cur &^ wheelMask
+	lo := int(w.cur & wheelMask)
+	for wi := lo >> 6; wi < wheelSlots/64 && best < 0; wi++ {
+		word := w.fineBm[wi]
+		if wi == lo>>6 {
+			word &= ^uint64(0) << uint(lo&63) << 1
+		}
+		if word != 0 {
+			best = base + core.Time(wi<<6+bits.TrailingZeros64(word))
+		}
+	}
+	if best < 0 {
+		for wi := 0; wi <= lo>>6 && best < 0; wi++ {
+			word := w.fineBm[wi]
+			if wi == lo>>6 {
+				word &= 1<<uint(lo&63) - 1
+			}
+			if word != 0 {
+				best = base + wheelSlots + core.Time(wi<<6+bits.TrailingZeros64(word))
+			}
+		}
+	}
+	// Coarse tier: blocks are disjoint increasing time ranges in wrap order
+	// from cur's block, so the first occupied slot holds the coarse minimum.
+	cs := int((w.cur >> wheelBits) & wheelMask)
+	for k := 0; k < wheelSlots; k++ {
+		j := (cs + k) & int(wheelMask)
+		if w.corseBm[j>>6]&(1<<(j&63)) != 0 {
+			m := core.Time(-1)
+			for _, e := range w.coarse[j] {
+				if m < 0 || e.t < m {
+					m = e.t
+				}
+			}
+			if m >= 0 && (best < 0 || m < best) {
+				best = m
+			}
+			break
+		}
+	}
+	if w.overMin >= 0 && (best < 0 || w.overMin < best) {
+		best = w.overMin
+	}
+	return best
+}
+
+// locate advances cur to just before the earliest pending entry (cascading
+// coarse slots and re-bucketing the overflow along the way) and returns
+// that entry's time with its fine slot resident. Only popUntil calls it, so
+// the hand never outruns a pop — jumps target the block containing the
+// minimum entry, hence cur stays strictly below every pending time.
+func (w *wheel) locate() core.Time {
+	for {
+		start := w.cur + 1
+		base := start &^ wheelMask
+		// Cascade the coarse slot of start's block: afterwards every entry
+		// in (cur, base+256) is fine-resident.
+		cs := int((base >> wheelBits) & wheelMask)
+		if w.corseBm[cs>>6]&(1<<(cs&63)) != 0 {
+			w.corseBm[cs>>6] &^= 1 << (cs & 63)
+			slot := w.coarse[cs]
+			for _, e := range slot {
+				s := int(e.t & wheelMask)
+				w.fine[s] = append(w.fine[s], e)
+				w.fineBm[s>>6] |= 1 << (s & 63)
+			}
+			w.coarse[cs] = slot[:0]
+		}
+		// Scan this block's remaining fine slots in index (= time) order.
+		lo := int(start & wheelMask)
+		for wi := lo >> 6; wi < wheelSlots/64; wi++ {
+			word := w.fineBm[wi]
+			if wi == lo>>6 {
+				word &= ^uint64(0) << (lo & 63)
+			}
+			if word != 0 {
+				s := wi<<6 + bits.TrailingZeros64(word)
+				return base + core.Time(s)
+			}
+		}
+		// Nothing left in this block: jump cur to just before the earliest
+		// block that still holds work. Fine entries below the scan window
+		// belong to the immediately following block; coarse blocks are found
+		// by a wrap-order bitmap scan.
+		jump := core.Time(-1)
+		if w.anyFine() {
+			jump = base + wheelSlots
+		}
+		if nc := w.nextCoarseBlock(base); nc >= 0 && (jump < 0 || nc < jump) {
+			jump = nc
+		}
+		if jump >= 0 {
+			w.cur = jump - 1
+			continue
+		}
+		// Only the overflow holds entries: pull it back into the wheel.
+		w.rebucketOver()
+	}
+}
+
+func (w *wheel) anyFine() bool {
+	for _, word := range w.fineBm {
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextCoarseBlock returns the start time of the earliest occupied coarse
+// block strictly after base, or -1. Slot cs+k (wrap) holds block
+// base + k*256 — unique within the horizon.
+func (w *wheel) nextCoarseBlock(base core.Time) core.Time {
+	cs := int((base >> wheelBits) & wheelMask)
+	for k := 1; k <= wheelSlots; k++ {
+		j := (cs + k) & int(wheelMask)
+		if w.corseBm[j>>6]&(1<<(j&63)) != 0 {
+			return base + core.Time(k)<<wheelBits
+		}
+	}
+	return -1
+}
+
+// rebucketOver advances cur to just before the earliest overflow entry and
+// re-adds the overflow, pulling near entries into the wheel levels. Called
+// only when both wheel levels are empty, so the jump skips no work; each
+// pass moves at least the minimum entry out of the overflow.
+func (w *wheel) rebucketOver() {
+	if w.overMin-1 > w.cur {
+		w.cur = w.overMin - 1
+	}
+	old := w.over
+	w.over = nil
+	w.overMin = -1
+	w.pending -= len(old)
+	for _, e := range old {
+		w.add(e.t, e.idx, e.gen)
+	}
+}
+
+// popUntil drains every entry with t <= deadline, in nondecreasing t order,
+// invoking fn on each, and leaves cur = max(cur, deadline). fn may call add
+// (new entries land strictly after the entry being expired). The caller
+// must guarantee no future add precedes deadline — the engine's discipline
+// (deadline <= virtual now, adds > virtual now) does.
+func (w *wheel) popUntil(deadline core.Time, fn func(wheelEntry)) {
+	for {
+		t := w.next()
+		if t < 0 || t > deadline {
+			break
+		}
+		w.locate()
+		s := int(t & wheelMask)
+		// Every entry in a fine slot shares the same t (one absolute time
+		// per slot within the (cur, cur+256) window).
+		batch := w.fine[s]
+		w.fine[s] = w.spare[:0]
+		w.fineBm[s>>6] &^= 1 << (s & 63)
+		w.pending -= len(batch)
+		w.cur = t
+		w.peekOK = false
+		for i := range batch {
+			fn(batch[i])
+		}
+		w.spare = batch[:0]
+	}
+	if deadline > w.cur {
+		w.cur = deadline
+	}
+}
+
+// drainAll drains every pending entry in nondecreasing t order.
+func (w *wheel) drainAll(fn func(wheelEntry)) {
+	for w.pending > 0 {
+		w.popUntil(w.next(), fn)
+	}
+}

@@ -1,0 +1,136 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fastnet/internal/core"
+)
+
+// drainTimes pops everything and returns the expiry times in pop order.
+func drainTimes(w *wheel) []core.Time {
+	var got []core.Time
+	w.drainAll(func(e wheelEntry) { got = append(got, e.t) })
+	return got
+}
+
+// TestWheelOrder inserts entries across all three tiers (fine, coarse,
+// overflow) in scrambled order and checks the wheel pops them in
+// nondecreasing time order — the heap-replacement contract.
+func TestWheelOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := newWheel(0)
+	var want []core.Time
+	for i := 0; i < 5000; i++ {
+		var d core.Time
+		switch i % 3 {
+		case 0:
+			d = 1 + core.Time(rng.Intn(wheelSlots-1)) // fine
+		case 1:
+			d = wheelSlots + core.Time(rng.Intn(wheelHorizon-wheelSlots)) // coarse
+		default:
+			d = wheelHorizon + core.Time(rng.Intn(1_000_000)) // overflow
+		}
+		w.add(d, int32(i), 0)
+		want = append(want, d)
+	}
+	got := drainTimes(w)
+	if len(got) != len(want) {
+		t.Fatalf("popped %d entries, inserted %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("pop order violated at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: popped t=%d, want %d", i, got[i], want[i])
+		}
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending=%d after drain", w.pending)
+	}
+}
+
+// TestWheelInterleaved mixes adds and popUntil calls (the engine's usage
+// pattern: new deadlines appear while older ones expire) and checks every
+// entry expires exactly once, in order, never past its deadline.
+func TestWheelInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := newWheel(0)
+	expired := make(map[int32]core.Time)
+	var lastT core.Time
+	id := int32(0)
+	inserted := make(map[int32]core.Time)
+	for round := 0; round < 200; round++ {
+		for k := 0; k < 20; k++ {
+			d := w.cur + 1 + core.Time(rng.Intn(3000))
+			w.add(d, id, 0)
+			inserted[id] = d
+			id++
+		}
+		deadline := w.cur + core.Time(rng.Intn(1500))
+		w.popUntil(deadline, func(e wheelEntry) {
+			if e.t > deadline {
+				t.Fatalf("expired t=%d past deadline %d", e.t, deadline)
+			}
+			if e.t < lastT {
+				t.Fatalf("order violated: %d after %d", e.t, lastT)
+			}
+			lastT = e.t
+			if _, dup := expired[e.idx]; dup {
+				t.Fatalf("entry %d expired twice", e.idx)
+			}
+			expired[e.idx] = e.t
+		})
+	}
+	w.drainAll(func(e wheelEntry) {
+		if _, dup := expired[e.idx]; dup {
+			t.Fatalf("entry %d expired twice", e.idx)
+		}
+		expired[e.idx] = e.t
+	})
+	if len(expired) != int(id) {
+		t.Fatalf("expired %d of %d entries", len(expired), id)
+	}
+	for idx, at := range expired {
+		if want := inserted[idx]; at != want {
+			t.Fatalf("entry %d expired at %d, scheduled for %d", idx, at, want)
+		}
+	}
+}
+
+// TestWheelSparseJump checks the block-jump path: two entries separated by
+// a span much larger than the fine level must both surface without the
+// wheel scanning tick by tick (correctness only; the jump's cost is a
+// bitmap scan, exercised implicitly).
+func TestWheelSparseJump(t *testing.T) {
+	w := newWheel(0)
+	w.add(3, 1, 0)
+	w.add(60_000, 2, 0)
+	w.add(5_000_000, 3, 0) // overflow tier
+	got := drainTimes(w)
+	want := []core.Time{3, 60_000, 5_000_000}
+	if len(got) != 3 {
+		t.Fatalf("popped %d entries, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d: t=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWheelPastClamp: entries scheduled at or before cur fire at cur+1,
+// never silently vanish.
+func TestWheelPastClamp(t *testing.T) {
+	w := newWheel(100)
+	w.add(50, 1, 0)
+	got := drainTimes(w)
+	if len(got) != 1 || got[0] != 101 {
+		t.Fatalf("past entry popped as %v, want [101]", got)
+	}
+}

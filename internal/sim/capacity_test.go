@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"fastnet/internal/anr"
+	"fastnet/internal/core"
+	"fastnet/internal/graph"
+	"fastnet/internal/trace"
+)
+
+// TestCapacityQueueDrop: with a finite NCU service queue, simultaneous
+// arrivals beyond the cap are rejected at the NCU boundary — counted,
+// trace-tagged, and never delivered — while admitted ones accumulate
+// queueing delay in QueueTicks.
+func TestCapacityQueueDrop(t *testing.T) {
+	g := graph.Path(2)
+	buf := trace.NewBuffer()
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 0 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 10), WithTrace(buf), WithCapacity(core.Capacity{NCUQueue: 2}))
+	for i := 0; i < 10; i++ {
+		net.Inject(0, 0, i)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	// All ten injections dispatch at t=0 in sequence order: the first two fit
+	// the backlog cap, the remaining eight are dropped before either admitted
+	// activation completes (the software delay is 10 ticks).
+	if m.CapQueueDrops != 8 {
+		t.Fatalf("CapQueueDrops=%d, want 8", m.CapQueueDrops)
+	}
+	if len(col.got) != 2 {
+		t.Fatalf("delivered %d payloads, want 2", len(col.got))
+	}
+	// The second admitted activation waits one full service time behind the
+	// first.
+	if m.QueueTicks != 10 {
+		t.Fatalf("QueueTicks=%d, want 10", m.QueueTicks)
+	}
+	drops := 0
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindCapQueueDrop {
+			if e.Node != 0 {
+				t.Fatalf("queue drop at node %d, want 0", e.Node)
+			}
+			drops++
+		}
+	}
+	if drops != 8 {
+		t.Fatalf("trace has %d KindCapQueueDrop events, want 8", drops)
+	}
+}
+
+// TestCapacityLinkDrop: a starved token bucket rejects traversals at the
+// link — the bucket starts at the burst depth, so exactly that many
+// back-to-back packets pass before the refill rate takes over.
+func TestCapacityLinkDrop(t *testing.T) {
+	g := graph.Path(2)
+	buf := trace.NewBuffer()
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithTrace(buf),
+		WithCapacity(core.Capacity{LinkRate: 0.001, LinkBurst: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	for i := 0; i < 5; i++ {
+		net.Inject(core.Time(i), 0, "go")
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if len(col.got) != 1 {
+		t.Fatalf("delivered %d pings, want 1 (burst depth)", len(col.got))
+	}
+	if m.CapLinkDrops != 4 {
+		t.Fatalf("CapLinkDrops=%d, want 4", m.CapLinkDrops)
+	}
+	drops := 0
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindCapLinkDrop {
+			drops++
+		}
+	}
+	if drops != 4 {
+		t.Fatalf("trace has %d KindCapLinkDrop events, want 4", drops)
+	}
+}
+
+// TestCapacityRefillAdmits: spacing the same offered load out past the
+// refill interval admits everything — the lazy refill really accrues tokens.
+func TestCapacityRefillAdmits(t *testing.T) {
+	g := graph.Path(2)
+	var col *collectProto
+	net := New(g, func(id core.NodeID) core.Protocol {
+		p := &collectProto{id: id}
+		if id == 1 {
+			col = p
+		}
+		return p
+	}, WithDelays(1, 1), WithCapacity(core.Capacity{LinkRate: 0.1, LinkBurst: 1}))
+	links, err := net.PortMap().RouteLinks([]core.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.nodes[0].proto = &pingProto{route: anr.Direct(links)}
+	// One send every 20 ticks at refill rate 0.1: two tokens accrue between
+	// traversals, so every packet finds a full bucket.
+	for i := 0; i < 5; i++ {
+		net.Inject(core.Time(i*20), 0, "go")
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m := net.Metrics(); m.CapLinkDrops != 0 {
+		t.Fatalf("CapLinkDrops=%d under spaced load, want 0", m.CapLinkDrops)
+	}
+	if len(col.got) != 5 {
+		t.Fatalf("delivered %d pings, want 5", len(col.got))
+	}
+}
+
+// TestCapacityZeroTransparent: the zero Capacity is bit-for-bit the same as
+// never mentioning capacity at all — identical trace, identical metrics —
+// and generous limits change nothing but the (gated) queue-delay account.
+func TestCapacityZeroTransparent(t *testing.T) {
+	run := func(opts ...Option) ([]trace.Event, core.Metrics) {
+		g := graph.Ring(8)
+		buf := trace.NewBuffer()
+		base := []Option{WithDelays(4, 6), WithRandomDelays(), WithSeed(11), WithTrace(buf),
+			WithMsgFaults(core.MsgFaults{Drop: 0.05, Dup: 0.05, Jitter: 0.1, JitterMax: 5})}
+		net := New(g, func(id core.NodeID) core.Protocol {
+			return &forwarder{}
+		}, append(base, opts...)...)
+		net.Inject(0, 0, 60)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events(), net.Metrics()
+	}
+	evBare, mBare := run()
+	evZero, mZero := run(WithCapacity(core.Capacity{}))
+	if mBare != mZero {
+		t.Fatalf("zero capacity changed metrics:\n%v\n%v", mBare, mZero)
+	}
+	if !reflect.DeepEqual(evBare, evZero) {
+		t.Fatalf("zero capacity changed the trace (%d vs %d events)", len(evBare), len(evZero))
+	}
+	// Generous limits: no drops, same trace; only QueueTicks may differ
+	// (accounted whenever a capacity model is on).
+	evBig, mBig := run(WithCapacity(core.Capacity{NCUQueue: 1 << 20, LinkRate: 1e9, LinkBurst: 1e9}))
+	if mBig.CapQueueDrops != 0 || mBig.CapLinkDrops != 0 {
+		t.Fatalf("generous capacity dropped: queue=%d link=%d", mBig.CapQueueDrops, mBig.CapLinkDrops)
+	}
+	if !reflect.DeepEqual(evBare, evBig) {
+		t.Fatalf("generous capacity changed the trace (%d vs %d events)", len(evBare), len(evBig))
+	}
+	mBig.QueueTicks = 0
+	if mBare != mBig {
+		t.Fatalf("generous capacity changed metrics beyond QueueTicks:\n%v\n%v", mBare, mBig)
+	}
+}

@@ -64,6 +64,7 @@ type config struct {
 	eventBudget int64
 	filter      core.HopFilter
 	faults      core.MsgFaults
+	cap         core.Capacity // finite NCU queues + link token buckets; zero = off
 	cutThrough  bool
 	hopBatch    bool
 	ringWindow  int // 0 = auto-size from the delay envelope; > 0 = fixed (power of two, no auto growth)
@@ -219,17 +220,19 @@ type Network struct {
 	ringMask    core.Time // ringSpan - 1
 	ringPending int       // total entries across ring slots
 	freeBatch   *hopBatch // free list of (link, instant) hop-batch slabs
-	free  *rec            // free list of event payload records
-	seq   uint64
-	now   core.Time
-	nodes    []node
-	down     map[graph.Edge]bool
-	rng      *rand.Rand // network-level source (hardware delays)
-	faultRng *rand.Rand // lossy-link rolls (separate stream: enabling faults must not perturb delay draws)
+	free        *rec      // free list of event payload records
+	seq         uint64
+	now         core.Time
+	nodes       []node
+	down        map[graph.Edge]bool
+	rng         *rand.Rand // network-level source (hardware delays)
+	faultRng    *rand.Rand // lossy-link rolls (separate stream: enabling faults must not perturb delay draws)
 
 	metrics    core.Metrics
-	perNode    []int64     // deliveries per node
-	busy       []core.Time // accumulated NCU busy time per node
+	perNode    []int64        // deliveries per node
+	busy       []core.Time    // accumulated NCU busy time per node
+	pendAct    []int32        // per-node pending-activation backlog; nil unless Capacity.NCUQueue > 0
+	linkTok    [][]linkBucket // per-node, per-port token buckets; nil unless Capacity.LinkRate > 0
 	actSeq     int64
 	msgSeq     int64
 	eventCount int64
@@ -349,6 +352,9 @@ func New(g *graph.Graph, f core.Factory, opts ...Option) *Network {
 	if cfg.shards >= 1 {
 		net.buildShards()
 	}
+	if cfg.cap.Enabled() {
+		net.applyCapacity(cfg.cap)
+	}
 	for i := range net.nodes {
 		nd := &net.nodes[i]
 		// Init runs in the node's own dispatch context so Init-time sends
@@ -466,7 +472,7 @@ func (net *Network) SchedStats() SchedStats {
 // campaigns) can still be observed; each run() flushes its delta on return.
 var globalStats struct {
 	events, heapPushes, lanePushes, ringPushes, batchedHops, ringOverflows, fusedHops atomic.Int64
-	heapPeak, ringPeak                                                               atomic.Int64
+	heapPeak, ringPeak                                                                atomic.Int64
 }
 
 // TakeGlobalSchedStats returns the process-wide scheduler counters
@@ -914,6 +920,9 @@ func (net *Network) dispatch(ev eventRec) {
 		nodeID, pkt, msg, isCopy := r.node, r.pkt, r.msg, r.isCopy
 		net.freeRec(r)
 		net.curOrigin = int32(nodeID)
+		if net.pendAct != nil && net.pendAct[nodeID] > 0 {
+			net.pendAct[nodeID]--
+		}
 		nd := &net.nodes[nodeID]
 		act := net.nextAct(nd)
 		nd.env.act = act
@@ -1110,11 +1119,29 @@ func (net *Network) dupRev(rev anr.Header) anr.Header {
 
 // enqueueActivation reserves the node's NCU for one software delay starting
 // no earlier than now and schedules the Deliver callback at completion time.
+// With a finite NCU service queue configured (Capacity.NCUQueue) an arrival
+// that finds the backlog at the cap is dropped at the NCU boundary instead;
+// link events stay uncapped — they are the hardware's control-plane
+// notifications, not queued user work.
 func (net *Network) enqueueActivation(v core.NodeID, pkt core.Packet, msg int64, isCopy bool) {
 	nd := &net.nodes[v]
 	start := net.now
 	if nd.busyUntil > start {
 		start = nd.busyUntil
+	}
+	if net.pendAct != nil {
+		if int(net.pendAct[v]) >= net.cfg.cap.NCUQueue {
+			net.metrics.CapQueueDrops++
+			net.cfg.sink.Record(trace.Event{Kind: trace.KindCapQueueDrop, Time: int64(net.now), Node: v, Msg: msg})
+			return
+		}
+		net.pendAct[v]++
+	}
+	if net.cfg.cap.Enabled() {
+		// Queueing delay: how long this activation waits behind the node's
+		// backlog before its own software delay starts. Accounted only under
+		// a capacity model so capacity-free metrics strings are unchanged.
+		net.metrics.QueueTicks += int64(start - net.now)
 	}
 	dur := net.swDelayFor(nd)
 	done := start + dur
@@ -1262,6 +1289,26 @@ func (net *Network) stepHop(cur core.NodeID, h anr.Header, i int, revBuf anr.Hea
 			net.metrics.Drops++
 			net.cfg.sink.Record(trace.Event{Kind: trace.KindDrop, Time: int64(net.now), Node: cur, Msg: msg})
 			return
+		}
+		if net.linkTok != nil {
+			// Per-link bandwidth: one token per traversal from the tail node's
+			// bucket for this directed link, refilled lazily since its last
+			// touch — O(1) admission, no refill events, and no rng draw (so
+			// enabling capacity never perturbs the fault or delay streams).
+			b := &net.linkTok[cur][int(hop.Link)-1]
+			if dt := net.now - b.last; dt > 0 {
+				b.tok += net.cfg.cap.LinkRate * float64(dt)
+				if burst := net.cfg.cap.Burst(); b.tok > burst {
+					b.tok = burst
+				}
+				b.last = net.now
+			}
+			if b.tok < 1 {
+				net.metrics.CapLinkDrops++
+				net.cfg.sink.Record(trace.Event{Kind: trace.KindCapLinkDrop, Time: int64(net.now), Node: cur, Msg: msg})
+				return
+			}
+			b.tok--
 		}
 		// Lossy-link model: one roll per live-link traversal. A duplicate
 		// crosses the link a second time (an extra hardware hop) after a jitter

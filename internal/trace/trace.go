@@ -30,6 +30,13 @@ const (
 	KindFaultJitter
 	KindFaultReorder
 	KindFaultSlow
+	// The KindCap* kinds are emitted by the capacity model (core.Capacity):
+	// KindCapQueueDrop when an activation is rejected at a full NCU service
+	// queue, KindCapLinkDrop when a traversal finds its directed link's token
+	// bucket empty. The event's Node is the NCU (queue) or the switching
+	// subsystem at the link's tail (link).
+	KindCapQueueDrop
+	KindCapLinkDrop
 )
 
 // Event is one runtime occurrence. Act identifies the NCU activation in

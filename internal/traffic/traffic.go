@@ -47,6 +47,40 @@ type Flow struct {
 	Packets  int
 }
 
+// FlowError reports a structurally invalid flow handed to Run: the index and
+// offending flow plus a human-readable reason, so sweep drivers can tell a
+// bad scenario from a simulation failure with errors.As.
+type FlowError struct {
+	Index  int
+	Flow   Flow
+	Reason string
+}
+
+func (e *FlowError) Error() string {
+	return fmt.Sprintf("traffic: flow %d (%d->%d, %d packets): %s",
+		e.Index, e.Flow.Src, e.Flow.Dst, e.Flow.Packets, e.Reason)
+}
+
+// validateFlows rejects flows no forwarding discipline could serve: empty
+// streams, endpoints outside the graph, and self-loops (the port map has no
+// route of length zero, and a flow to yourself measures nothing).
+func validateFlows(g *graph.Graph, flows []Flow) error {
+	n := core.NodeID(g.N())
+	for i, f := range flows {
+		switch {
+		case f.Packets <= 0:
+			return &FlowError{Index: i, Flow: f, Reason: fmt.Sprintf("packet count %d is not positive", f.Packets)}
+		case f.Src < 0 || f.Src >= n:
+			return &FlowError{Index: i, Flow: f, Reason: fmt.Sprintf("source %d outside [0, %d)", f.Src, n)}
+		case f.Dst < 0 || f.Dst >= n:
+			return &FlowError{Index: i, Flow: f, Reason: fmt.Sprintf("destination %d outside [0, %d)", f.Dst, n)}
+		case f.Src == f.Dst:
+			return &FlowError{Index: i, Flow: f, Reason: "source and destination coincide"}
+		}
+	}
+	return nil
+}
+
 // dataMsg is one user packet. For store-and-forward it carries the
 // remaining per-hop links and an index.
 type dataMsg struct {
@@ -137,6 +171,9 @@ type Result struct {
 // (fault injection, sharding, scheduler knobs) are appended to the network's
 // build options, so fault-load traffic studies reuse this driver.
 func Run(g *graph.Graph, flows []Flow, d Discipline, c, p core.Time, extra ...sim.Option) (Result, error) {
+	if err := validateFlows(g, flows); err != nil {
+		return Result{}, err
+	}
 	net := sim.New(g, func(id core.NodeID) core.Protocol {
 		return &node{id: id}
 	}, append([]sim.Option{sim.WithDelays(c, p), sim.WithDmax(g.N())}, extra...)...)

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"errors"
 	"testing"
 
 	"fastnet/internal/core"
@@ -145,4 +146,40 @@ func TestBusyTimeAccounting(t *testing.T) {
 		t.Fatalf("utilization = %f out of range", res.MaxUtilization)
 	}
 	_ = core.NodeID(0)
+}
+
+// TestFlowValidation pins Run's input contract: empty streams, out-of-range
+// endpoints, and self-loops are typed FlowError rejections naming the flow,
+// not panics or silent no-ops downstream.
+func TestFlowValidation(t *testing.T) {
+	g := graph.Path(4)
+	bad := []struct {
+		name string
+		flow Flow
+	}{
+		{"zero packets", Flow{Src: 0, Dst: 3, Packets: 0}},
+		{"negative packets", Flow{Src: 0, Dst: 3, Packets: -5}},
+		{"src out of range", Flow{Src: 4, Dst: 1, Packets: 1}},
+		{"negative src", Flow{Src: -1, Dst: 1, Packets: 1}},
+		{"dst out of range", Flow{Src: 1, Dst: 99, Packets: 1}},
+		{"self loop", Flow{Src: 2, Dst: 2, Packets: 1}},
+	}
+	for _, tc := range bad {
+		// The invalid flow rides second so the index lands in the error.
+		flows := []Flow{{Src: 0, Dst: 1, Packets: 1}, tc.flow}
+		_, err := Run(g, flows, Hardware, 1, 5)
+		if err == nil {
+			t.Fatalf("%s: accepted %+v", tc.name, tc.flow)
+		}
+		var fe *FlowError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error %v is not a *FlowError", tc.name, err)
+		}
+		if fe.Index != 1 || fe.Flow != tc.flow {
+			t.Fatalf("%s: error blames flow %d (%+v), want 1 (%+v)", tc.name, fe.Index, fe.Flow, tc.flow)
+		}
+	}
+	if _, err := Run(g, []Flow{{Src: 0, Dst: 3, Packets: 2}}, StoreAndForward, 1, 5); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
 }
